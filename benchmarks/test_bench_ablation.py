@@ -1,0 +1,116 @@
+"""Experiment §4.2/§6: ablation of the design choices on SWE.
+
+The paper attributes Fortran-90-Y's performance to specific mechanisms:
+blocking amortizes "PEAC subroutine calling time and the overhead of
+receiving pointers and data from the front-end FIFO ... over more
+floating point computations, in longer virtual subgrid loops"; chained
+loads, multiply-adds, and overlapped memory accesses cut node cycles.
+
+This benchmark switches each mechanism off individually on the SWE
+workload and reports the slowdown it is responsible for.
+"""
+
+import numpy as np
+
+from repro.backend.cm2.pe_compiler import BackendOptions
+from repro.driver.compiler import CompilerOptions, compile_source
+from repro.driver.reference import run_reference
+from repro.frontend.parser import parse_program
+from repro.machine import Machine, slicewise_model
+from repro.programs.swe import swe_source
+from repro.transform import Options
+
+from .conftest import SWE_N, SWE_STEPS, record
+
+VARIANTS = {
+    "full": CompilerOptions(),
+    "no_blocking": CompilerOptions(
+        transform=Options(block=False, fuse=False)),
+    "no_padding": CompilerOptions(transform=Options(pad_masks=False)),
+    "no_chaining": CompilerOptions(backend=BackendOptions(chaining=False)),
+    "no_fma": CompilerOptions(backend=BackendOptions(fma=False)),
+    "no_overlap": CompilerOptions(backend=BackendOptions(overlap=False)),
+    "no_memoization": CompilerOptions(
+        backend=BackendOptions(memoize=False)),
+    "all_off": CompilerOptions.naive(),
+}
+
+
+def run_variants():
+    src = swe_source(n=SWE_N, itmax=SWE_STEPS)
+    ref = run_reference(parse_program(src))
+    out = {}
+    for name, options in VARIANTS.items():
+        exe = compile_source(src, options)
+        res = exe.run(Machine(slicewise_model()))
+        np.testing.assert_allclose(res.arrays["p"], ref.arrays["p"],
+                                   rtol=1e-9)
+        out[name] = res
+    return out
+
+
+def test_ablation_each_mechanism_matters(benchmark):
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    full = results["full"].stats.total_cycles
+    slowdowns = {
+        name: res.stats.total_cycles / full
+        for name, res in results.items()
+    }
+    record(
+        benchmark,
+        gflops_full=results["full"].gflops(),
+        **{f"slowdown_{k}": v for k, v in slowdowns.items()},
+        calls_full=results["full"].stats.node_calls,
+        calls_no_blocking=results["no_blocking"].stats.node_calls,
+    )
+    # Every optimization contributes or is close to neutral.  (Value
+    # memoization can measure slightly *negative* here: an unmemoized
+    # duplicate load is single-use and therefore chains into a free
+    # in-memory operand, while the memoized value occupies a register —
+    # a genuine CSE-versus-rematerialization tradeoff on this ISA.)
+    for name, ratio in slowdowns.items():
+        assert ratio >= 0.98, f"{name} markedly faster than full config"
+    # The central claims: blocking, chaining and fma each matter.
+    assert slowdowns["no_blocking"] > 1.01
+    assert slowdowns["no_chaining"] > 1.01
+    assert slowdowns["no_fma"] > 1.005
+    assert slowdowns["all_off"] > slowdowns["no_blocking"]
+    # Blocking shows up as call-count reduction.
+    assert results["no_blocking"].stats.node_calls \
+        > results["full"].stats.node_calls
+
+
+def test_mask_padding_matters_on_strided_sections(benchmark):
+    """SWE has no strided sections, so the headline ablation shows the
+    padder as neutral there; red-black relaxation is its real workload:
+    padding fuses each pair of disjoint checkerboard half-sweeps."""
+    from repro.programs.kernels import redblack_source
+
+    src = redblack_source(256, 2)
+
+    def run():
+        padded = compile_source(src)
+        unpadded = compile_source(src, CompilerOptions(
+            transform=Options(pad_masks=False)))
+        ref = run_reference(parse_program(src))
+        rp = padded.run(Machine(slicewise_model()))
+        ru = unpadded.run(Machine(slicewise_model()))
+        for res in (rp, ru):
+            np.testing.assert_allclose(res.arrays["u"], ref.arrays["u"],
+                                       rtol=1e-9)
+        return padded, unpadded, rp, ru
+
+    padded, unpadded, rp, ru = benchmark.pedantic(run, rounds=1,
+                                                  iterations=1)
+    record(
+        benchmark,
+        sections_padded=padded.transformed.report.masking.padded,
+        padded_calls=rp.stats.node_calls,
+        unpadded_calls=ru.stats.node_calls,
+        padded_cycles=rp.stats.total_cycles,
+        unpadded_cycles=ru.stats.total_cycles,
+        padding_speedup=ru.stats.total_cycles / rp.stats.total_cycles,
+    )
+    # Two static section assignments in the loop body get padded.
+    assert padded.transformed.report.masking.padded == 2
+    assert rp.stats.node_calls < ru.stats.node_calls

@@ -1,0 +1,65 @@
+"""Experiment §6 "Direction of Effort": where execution time goes.
+
+"During execution, the node processor and runtime libraries' speeds are
+the limiting factor for performance; the SPARC front end just has to
+keep up ...  As problem size increases, therefore, front end time
+comprises a negligible fraction of the overall execution profile."
+
+The benchmark sweeps SWE grid sizes and reports the host (front-end)
+fraction of total simulated time, which must fall toward zero, plus the
+prototype's compile turnaround (the development-time argument).
+"""
+
+import time
+
+from repro.driver.compiler import compile_source
+from repro.machine import Machine, slicewise_model
+from repro.programs.swe import swe_source
+
+from .conftest import record
+
+
+def sweep():
+    fractions = {}
+    for n in (32, 128, 512):
+        exe = compile_source(swe_source(n=n, itmax=2))
+        res = exe.run(Machine(slicewise_model()))
+        b = res.stats.breakdown()
+        fractions[n] = (b["host"], b["call"], b["node"], b["comm"])
+    return fractions
+
+
+def test_effort_profile_host_fraction_vanishes(benchmark):
+    fractions = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        benchmark,
+        host_fraction_n32=fractions[32][0],
+        host_fraction_n128=fractions[128][0],
+        host_fraction_n512=fractions[512][0],
+        call_fraction_n32=fractions[32][1],
+        call_fraction_n512=fractions[512][1],
+        node_fraction_n512=fractions[512][2],
+        comm_fraction_n512=fractions[512][3],
+    )
+    hosts = [fractions[n][0] for n in (32, 128, 512)]
+    assert hosts[0] > hosts[1] > hosts[2]
+    assert hosts[2] < 0.01  # negligible at scale
+    # Dispatch overhead also amortizes away.
+    assert fractions[512][1] < fractions[32][1]
+
+
+def test_development_turnaround(benchmark):
+    """The prototyping claim in miniature: compiling the full SWE
+    program through every phase takes well under a second."""
+
+    def compile_once():
+        t0 = time.perf_counter()
+        exe = compile_source(swe_source(n=512, itmax=2))
+        return exe, time.perf_counter() - t0
+
+    exe, elapsed = benchmark.pedantic(compile_once, rounds=1, iterations=1)
+    record(benchmark,
+           compile_seconds=elapsed,
+           peac_routines=len(exe.routines),
+           node_instructions=exe.partition.node_instructions)
+    assert elapsed < 5.0

@@ -1,0 +1,104 @@
+"""Experiment Figs. 5/6: the NIR operator inventory.
+
+Figures 5 and 6 are the catalogue of NIR's core and shape operators.
+The benchmark exercises the whole vocabulary: it builds one NIR program
+using every listed constructor, pretty-prints it, and round-trips it
+through the structural visitor, reporting coverage counts.
+"""
+
+from repro import nir
+
+from .conftest import record
+
+CORE_OPERATORS = [
+    "integer_32", "logical_32", "float_32", "float_64",       # types
+    "DECL", "DECLSET", "INITIALIZED",                         # decls
+    "BINARY", "UNARY", "SVAR", "SCALAR", "FCNCALL",
+    "REF_IN", "COPY_IN",                                      # values
+    "PROGRAM", "SEQUENTIALLY", "CONCURRENTLY", "MOVE",
+    "IFTHENELSE", "WHILE", "REF_OUT", "COPY_OUT",
+    "WITH_DECL", "SKIP",                                      # imperative
+]
+SHAPE_OPERATORS = [
+    "point", "interval", "serial_interval", "prod_dom",       # shapes
+    "dfield",                                                 # type bridge
+    "AVAR", "subscript", "everywhere", "local_under",         # value bridge
+    "DO",                                                     # imp bridge
+]
+
+
+def build_everything():
+    alpha = nir.ProdDom((nir.Interval(1, 4), nir.Interval(1, 4)))
+    decls = nir.DeclSet((
+        nir.Decl("a", nir.DField(nir.DomainRef("alpha"), nir.FLOAT_64)),
+        nir.Decl("x", nir.FLOAT_64),
+        nir.Initialized("n", nir.INTEGER_32, nir.int_const(4)),
+        nir.Decl("flag", nir.LOGICAL_32),
+        nir.Decl("y", nir.FLOAT_32),
+    ))
+    body = nir.seq(
+        nir.Move((
+            nir.MoveClause(
+                nir.TRUE,
+                nir.Binary(nir.BinOp.ADD,
+                           nir.LocalUnder(nir.DomainRef("alpha"), 1),
+                           nir.LocalUnder(nir.DomainRef("alpha"), 2)),
+                nir.AVar("a", nir.Everywhere())),
+            nir.MoveClause(
+                nir.Binary(nir.BinOp.GT, nir.AVar("a"), nir.int_const(2)),
+                nir.Unary(nir.UnOp.NEG, nir.AVar("a")),
+                nir.AVar("a", nir.Everywhere())),
+        )),
+        nir.move1(
+            nir.FcnCall("sum", (nir.AVar("a", nir.Subscript((
+                nir.IndexRange(nir.int_const(1), nir.int_const(2)),
+                nir.IndexRange(None, None)))),)),
+            nir.SVar("x")),
+        nir.IfThenElse(
+            nir.Binary(nir.BinOp.LT, nir.SVar("x"), nir.int_const(0)),
+            nir.While(nir.Binary(nir.BinOp.LT, nir.SVar("x"),
+                                 nir.int_const(0)),
+                      nir.move1(nir.Binary(nir.BinOp.ADD, nir.SVar("x"),
+                                           nir.int_const(1)),
+                                nir.SVar("x"))),
+            nir.Skip()),
+        nir.Do(nir.SerialInterval(1, 4),
+               nir.Concurrently((nir.Skip(), nir.RefOut(nir.SVar("x")),
+                                 nir.CopyOut(nir.CopyIn("y")))),
+               index_names=("i",)),
+        nir.move1(nir.RefIn("y"), nir.SVar("x")),
+    )
+    return nir.Program(
+        nir.WithDomain("alpha", alpha, nir.WithDecl(decls, body)))
+
+
+def test_fig56_inventory(benchmark):
+    program = benchmark.pedantic(build_everything, rounds=1, iterations=1)
+    text = nir.pretty(program)
+    nodes = list(nir.walk_all(program))
+    kinds = {type(n).__name__ for n in nodes}
+    record(
+        benchmark,
+        core_operators_listed=len(CORE_OPERATORS),
+        shape_operators_listed=len(SHAPE_OPERATORS),
+        distinct_node_kinds_exercised=len(kinds),
+        total_nodes=len(nodes),
+        pretty_printed_chars=len(text),
+    )
+    expected_kinds = {
+        "Program", "WithDomain", "WithDecl", "DeclSet", "Decl",
+        "Initialized", "Sequentially", "Concurrently", "Move",
+        "MoveClause", "IfThenElse", "While", "Do", "Skip", "RefOut",
+        "CopyOut", "Binary", "Unary", "SVar", "Scalar", "FcnCall",
+        "AVar", "Everywhere", "Subscript", "IndexRange", "LocalUnder",
+        "RefIn", "CopyIn", "Interval", "SerialInterval", "ProdDom",
+        "DomainRef", "DField", "ScalarType",
+    }
+    assert expected_kinds <= kinds
+    # The concrete syntax of the figures appears in the pretty-printing.
+    for token in ("WITH_DOMAIN", "WITH_DECL", "DECLSET", "MOVE",
+                  "SEQUENTIALLY", "CONCURRENTLY", "IFTHENELSE", "WHILE",
+                  "DO(", "local_under", "everywhere", "subscript",
+                  "dfield", "SCALAR", "SVAR", "AVAR", "FCNCALL",
+                  "BINARY", "UNARY"):
+        assert token in text, token

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: compile data-parallel Fortran 90 and run it on the CM/2.
+
+Compiles a small whole-array program through the full Fortran-90-Y
+pipeline, prints the generated PEAC node code and the host program,
+executes it on the simulated 2,048-PE CM/2, and checks the results
+against the numpy reference interpreter.
+"""
+
+import numpy as np
+
+from repro import Machine, compile_source, parse_program, run_reference
+from repro.peac import format_routine
+from repro.runtime.host import format_host_program
+
+SOURCE = """
+program quickstart
+integer, parameter :: n = 64
+double precision, array(n,n) :: a, b, c
+double precision total
+
+! Whole-array parallelism: one virtual subgrid loop per phase.
+forall (i=1:n, j=1:n) a(i,j) = sin(i * 0.05d0) + cos(j * 0.05d0)
+b = 2.0d0 * a + 0.5d0
+c = a * b + cshift(b, shift=1, dim=1)
+
+where (c > 1.0d0)
+   c = c - 1.0d0
+elsewhere
+   c = 0.0d0
+end where
+
+total = sum(c)
+print *, total
+end program quickstart
+"""
+
+
+def main() -> None:
+    print("=== Compiling through the Fortran-90-Y pipeline ===")
+    exe = compile_source(SOURCE)
+
+    print(f"\ncomputation blocks : {exe.partition.compute_blocks}")
+    print(f"communication      : {exe.partition.comm_phases}")
+    print(f"reductions         : {exe.partition.reductions}")
+
+    print("\n=== Generated PEAC node code ===")
+    for name, routine in exe.routines.items():
+        print(format_routine(routine))
+        print()
+
+    print("=== Host (front-end) program ===")
+    print(format_host_program(exe.host_program))
+
+    print("\n=== Executing on the simulated CM/2 (2,048 PEs) ===")
+    result = exe.run(Machine())
+    print(f"program output     : {result.output}")
+    print(f"total cycles       : {result.stats.total_cycles:,}")
+    print(f"node calls         : {result.stats.node_calls}")
+    print(f"sustained          : {result.gflops():.3f} GFLOPS "
+          f"(small problem; overhead dominates)")
+
+    print("\n=== Verifying against the numpy reference interpreter ===")
+    ref = run_reference(parse_program(SOURCE))
+    for name in ("a", "b", "c"):
+        match = np.allclose(result.arrays[name], ref.arrays[name])
+        print(f"array {name}: {'OK' if match else 'MISMATCH'}")
+    print(f"scalar total: compiled={result.scalars['total']:.6f} "
+          f"reference={ref.scalars['total']:.6f}")
+
+
+if __name__ == "__main__":
+    main()

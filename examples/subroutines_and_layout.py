@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Structured programs: subroutines, layout directives, and the CLI view.
+
+Shows the two §5.3.2-flavoured extensions working together: a multi-unit
+Fortran program whose subroutines are inline-expanded (call-by-reference
+for variables, call-by-value temporaries for expressions), and
+``!layout:`` directives steering the block geometry so the stencil's
+shifted axis stays on-processor.
+"""
+
+import numpy as np
+
+from repro import Machine, compile_source, parse_program, run_reference
+from repro.frontend.parser import parse_source
+
+SOURCE = """
+!layout: field(news, serial)
+!layout: work(news, serial)
+program relax
+integer, parameter :: n = 128
+double precision, array(n,n) :: field, work
+double precision residual
+integer sweep
+
+call initialize(field, 25.0d0)
+do sweep = 1, 5
+   call relax_columns(field, work)
+   call relax_columns(work, field)
+end do
+residual = maxval(field) - minval(field)
+print *, residual
+end program relax
+
+subroutine initialize(grid, amplitude)
+double precision, array(128,128) :: grid
+double precision amplitude
+forall (i=1:128, j=1:128) grid(i,j) = amplitude * sin(i * 0.05d0) * cos(j * 0.04d0)
+end subroutine initialize
+
+subroutine relax_columns(src, dst)
+double precision, array(128,128) :: src, dst
+! Shifts run along axis 2 only; the layout directive keeps that axis
+! inside each processing element, so these are local copies.
+dst = 0.25d0 * (cshift(src, 1, 2) + cshift(src, -1, 2)) + 0.5d0 * src
+end subroutine relax_columns
+"""
+
+
+def main() -> None:
+    sf = parse_source(SOURCE)
+    print(f"source units: {[u.name for u in sf.units]}")
+    inlined = parse_program(SOURCE)
+    print(f"after inline expansion: {len(inlined.body)} top-level "
+          f"statements, {len(inlined.decls)} declaration groups, "
+          f"no CALL remains: "
+          f"{all(type(s).__name__ != 'CallStmt' for s in inlined.body)}")
+
+    exe = compile_source(SOURCE)
+    result = exe.run(Machine())
+    ref = run_reference(parse_program(SOURCE))
+    ok = np.allclose(result.arrays["field"], ref.arrays["field"])
+    print(f"\nprogram output : {result.output}")
+    print(f"matches oracle : {ok}")
+    print(f"node calls     : {result.stats.node_calls}")
+    print(f"comm cycles    : {result.stats.comm_cycles:,} "
+          f"(layout keeps the shifted axis on-PE)")
+
+    no_layout = "\n".join(l for l in SOURCE.splitlines()
+                          if not l.startswith("!layout"))
+    base = compile_source(no_layout).run(Machine())
+    print(f"without layout : {base.stats.comm_cycles:,} comm cycles")
+
+
+if __name__ == "__main__":
+    main()

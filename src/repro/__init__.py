@@ -1,0 +1,65 @@
+"""Fortran-90-Y: a formally-specified data-parallel Fortran 90 compiler
+for a simulated Connection Machine CM/2.
+
+Reproduction of Chen & Cowie, "Prototyping Fortran-90 Compilers for
+Massively Parallel Machines" (PLDI 1992 / YALEU/DCS/RR-881).
+
+Quickstart::
+
+    from repro import compile_source, Machine, run_reference
+
+    exe = compile_source(FORTRAN_SOURCE)
+    result = exe.run()                 # simulated CM/2, 2048 PEs
+    print(result.arrays["a"], result.gflops())
+
+Package map (see DESIGN.md for the paper-to-module correspondence):
+
+* :mod:`repro.frontend`  -- Fortran 90 lexer/parser/ASTs,
+* :mod:`repro.nir`       -- the NIR semantic algebra (five domains),
+* :mod:`repro.lowering`  -- semantic lowering + type/shape checking,
+* :mod:`repro.transform` -- shape-based NIR optimization (Figs. 4, 9, 10),
+* :mod:`repro.backend`   -- CM2/NIR, PE/NIR, FE/NIR, CM5/NIR compilers,
+* :mod:`repro.peac`      -- PEAC assembly (Fig. 12),
+* :mod:`repro.machine`   -- the simulated CM/2 (PEs, network, costs),
+* :mod:`repro.runtime`   -- CM runtime system + host executor,
+* :mod:`repro.baselines` -- \\*Lisp fieldwise and CM Fortran models,
+* :mod:`repro.driver`    -- end-to-end compilation and the numpy oracle,
+* :mod:`repro.programs`  -- SWE and the other benchmark workloads.
+"""
+
+from .driver.compiler import (
+    CompilerOptions,
+    Executable,
+    RunResult,
+    compile_source,
+    compile_unit,
+)
+from .driver.reference import run_reference
+from .frontend.parser import parse_program
+from .lowering.lower import lower_program
+from .machine.cm2 import Machine
+from .machine.costs import cm5_model, fieldwise_model, slicewise_model
+from .transform.pipeline import Options as TransformOptions
+from .transform.pipeline import optimize
+from .backend.cm2.pe_compiler import BackendOptions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilerOptions",
+    "Executable",
+    "RunResult",
+    "compile_source",
+    "compile_unit",
+    "run_reference",
+    "parse_program",
+    "lower_program",
+    "Machine",
+    "cm5_model",
+    "fieldwise_model",
+    "slicewise_model",
+    "TransformOptions",
+    "optimize",
+    "BackendOptions",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro <command> file.f90``."""
+
+import sys
+
+from .driver.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

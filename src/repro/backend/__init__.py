@@ -1,0 +1,1 @@
+"""Target-specific NIR compilers: CM/2 and CM/5 back ends."""

@@ -1,0 +1,30 @@
+"""The CM2/NIR compiler hierarchy: CM2 (partition), PE and FE siblings."""
+
+from .chaining import chain_loads, count_pairs, pair_memory_ops
+from .fe_compiler import allocation_ops, call_ops, comm_kind, serial_ops
+from .partition import Cm2Compiler, PartitionReport
+from .pe_compiler import (
+    BackendError,
+    BackendOptions,
+    CompiledBlock,
+    Selector,
+    TooManyStreams,
+    compile_block,
+    encode_routine,
+    fuse_multiply_adds,
+)
+from .regalloc import AllocationError, AllocationResult, PhysOp, allocate
+from .vir import (
+    ScalarSpec,
+    Src,
+    SrcKind,
+    StreamSpec,
+    VOp,
+    VProgram,
+    imm,
+    scalar_src,
+    stream_src,
+    virt,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,163 @@
+"""Load chaining and memory-access overlap (the Figure 12 optimizations).
+
+Two independently switchable passes:
+
+* :func:`chain_loads` (before register allocation) — "PEAC's support for
+  load chaining also allows one in-memory operand to be substituted for
+  a register operand, which helps reduce register pressure": a load
+  whose value has exactly one consumer folds into that consumer as a
+  streaming memory operand.
+
+* :func:`pair_memory_ops` (after register allocation) — "wherever
+  possible, loads and stores of data have been chained with the first or
+  last use of a live variable, respectively, or overlapped with
+  unrelated computations": a standalone load/store (including spill
+  traffic) dual-issues with the preceding arithmetic instruction when no
+  register hazard exists, moving its cost into the arithmetic slot.
+"""
+
+from __future__ import annotations
+
+from .regalloc import PhysOp
+from .vir import SrcKind, VOp, VProgram, stream_src, uses_of
+
+_CHAINABLE_KINDS_OPS = {
+    "faddv", "fsubv", "fmulv", "fdivv", "fminv", "fmaxv", "fmodv",
+    "fpowv", "fmav", "fmsv", "fceqv", "fcnev", "fcltv", "fclev",
+    "fcgtv", "fcgev", "candv", "corv", "cxorv", "fselv",
+    "iaddv", "isubv", "imulv", "idivv", "imodv",
+}
+
+
+def chain_loads(program: VProgram,
+                stream_arrays: dict[int, str]) -> VProgram:
+    """Fold single-use loads into their consumers as memory operands.
+
+    ``stream_arrays`` maps stream ids to array names ('' for coordinate
+    streams); a load may not move past a store to the same array, since
+    the streamed read would then observe the new value.
+    """
+    ops = program.ops
+    uses = uses_of(ops)
+    # Positions of stores per array name, to honour the no-crossing rule.
+    store_positions: list[tuple[int, str]] = []
+    for pos, op in enumerate(ops):
+        if op.op == "store":
+            sid = op.srcs[1].index
+            store_positions.append((pos, stream_arrays.get(sid, "")))
+
+    def store_between(lo: int, hi: int, array: str) -> bool:
+        if not array:
+            return False
+        return any(lo < pos < hi and name == array
+                   for pos, name in store_positions)
+
+    folded: dict[int, VOp] = {}    # load position -> replacement None
+    new_ops: list[VOp] = []
+    replace_src: dict[int, VOp] = {}
+
+    to_fold: dict[int, tuple[int, int]] = {}  # use pos -> (load pos, virt)
+    for pos, op in enumerate(ops):
+        if op.op != "load":
+            continue
+        consumers = uses.get(op.dst, [])
+        if len(consumers) != 1:
+            continue
+        use_pos = consumers[0]
+        use_op = ops[use_pos]
+        if use_op.op not in _CHAINABLE_KINDS_OPS:
+            continue
+        if any(s.kind is SrcKind.STREAM for s in use_op.srcs):
+            continue  # at most one in-memory operand per instruction
+        if use_pos in to_fold:
+            continue  # that consumer already chains another load
+        sid = op.srcs[0].index
+        if store_between(pos, use_pos, stream_arrays.get(sid, "")):
+            continue
+        to_fold[use_pos] = (pos, op.dst)
+
+    fold_loads = {load_pos for load_pos, _ in to_fold.values()}
+    out = VProgram(streams=program.streams, scalars=program.scalars,
+                   n_virtuals=program.n_virtuals)
+    for pos, op in enumerate(ops):
+        if pos in fold_loads:
+            continue
+        if pos in to_fold:
+            load_pos, v = to_fold[pos]
+            sid = ops[load_pos].srcs[0].index
+            new_srcs = tuple(
+                stream_src(sid)
+                if (s.kind is SrcKind.VIRT and s.index == v) else s
+                for s in op.srcs)
+            op = VOp(op.op, new_srcs, op.dst)
+        out.ops.append(op)
+    return out
+
+
+def pair_memory_ops(ops: list[PhysOp]) -> list[PhysOp]:
+    """Dual-issue standalone memory ops with the preceding computation.
+
+    A memory op ``M`` directly following a computation ``C`` may share
+    ``C``'s issue slot (both halves read pre-instruction register state):
+
+    * a load/restore may not write ``C``'s destination;
+    * a store/spill may not read ``C``'s destination (it would capture
+      the pre-``C`` value).
+    """
+    out: list[PhysOp] = []
+    paired_flags: list[bool] = []
+    for op in ops:
+        is_mem = op.op in ("load", "store", "spill", "restore")
+        if is_mem and out:
+            prev = out[-1]
+            prev_is_compute = prev.op not in ("load", "store", "spill",
+                                              "restore") and \
+                not paired_flags[-1]
+            if prev_is_compute and prev.dst >= 0:
+                if op.op in ("load", "restore"):
+                    ok = op.dst != prev.dst
+                else:  # store / spill
+                    ok = all(not (s.kind is SrcKind.VIRT
+                                  and s.index == prev.dst)
+                             for s in op.srcs)
+                if ok:
+                    out[-1] = PhysOp(prev.op, prev.srcs, prev.dst,
+                                     slot=prev.slot)
+                    # Represent the pairing by tagging: handled at encode
+                    # time via a parallel list.
+                    paired_flags[-1] = True
+                    out.append(op)
+                    paired_flags.append(True)
+                    continue
+        out.append(op)
+        paired_flags.append(False)
+    # Re-encode pairing as (compute, mem) adjacency marks.
+    return _mark_pairs(out, paired_flags)
+
+
+def _mark_pairs(ops: list[PhysOp], flags: list[bool]) -> list[PhysOp]:
+    """Attach a pairing marker understood by the encoder.
+
+    The encoder receives pairs as a pseudo-op ``"pair"`` whose ``srcs``
+    is empty; instead we return the list with explicit (compute, mem)
+    runs marked by interleaving sentinel booleans kept alongside.
+    """
+    # Encode pairing in-band: a paired mem op is renamed with a '+'
+    # prefix so the encoder attaches it to the previous instruction.
+    out: list[PhysOp] = []
+    i = 0
+    while i < len(ops):
+        if (i + 1 < len(ops) and flags[i] and flags[i + 1]
+                and ops[i + 1].op in ("load", "store", "spill", "restore")):
+            out.append(ops[i])
+            mem = ops[i + 1]
+            out.append(PhysOp("+" + mem.op, mem.srcs, mem.dst, mem.slot))
+            i += 2
+        else:
+            out.append(ops[i])
+            i += 1
+    return out
+
+
+def count_pairs(ops: list[PhysOp]) -> int:
+    return sum(1 for op in ops if op.op.startswith("+"))

@@ -1,0 +1,82 @@
+"""The CM2/FE NIR compiler: the remainder program becomes host code.
+
+"The FE/NIR compiler translates the NIR remainder program into SPARC
+assembly code plus runtime system library calls.  DO- and
+MOVE-constructs over serial shapes become explicit iteration.
+Declarative NIR constructs become memory allocations, with their home
+determined by usage.  Certain primitive function calls which represent
+communication intrinsics are replaced by calls to their CM runtime
+library implementations.  For each computation block being executed
+remotely, the compiler inserts calling code to push PEAC procedure
+arguments over the IFIFO to the processors" (section 5.2).
+
+Here the "SPARC assembly" is the host IR of :mod:`repro.runtime.host`
+(see that module for the disassembly format); this module provides the
+declaration, serial-code and runtime-call halves, while
+:mod:`repro.backend.cm2.partition` performs the host/node division.
+"""
+
+from __future__ import annotations
+
+from ... import nir
+from ...frontend import intrinsics as intr
+from ...lowering.environment import Environment
+from ...runtime import host as h
+
+
+def allocation_ops(env: Environment,
+                   layouts: dict[str, tuple[str, ...]] | None = None
+                   ) -> list[h.HostOp]:
+    """Alloc/ScalarInit prologue from the unit's declarations.
+
+    ``layouts`` carries ``!layout:`` directive modes per array (explicit
+    data layout, section 5.3.2).
+    """
+    layouts = layouts or {}
+    ops: list[h.HostOp] = []
+    for sym in env.symbols.values():
+        if sym.is_array:
+            ops.append(h.Alloc(name=sym.name, extents=sym.extents,
+                               dtype=sym.element.dtype.name,
+                               layout=layouts.get(sym.name)))
+        elif sym.init is not None:
+            ops.append(h.ScalarInit(name=sym.name, value=sym.init))
+    return ops
+
+
+def comm_kind(clause: nir.MoveClause) -> str:
+    """Which CM runtime service implements a communication MOVE."""
+    src = clause.src
+    if isinstance(src, nir.FcnCall):
+        name = src.name.lower()
+        if name in intr.COMMUNICATION:
+            return name if name in ("cshift", "eoshift", "transpose",
+                                    "spread") else "copy"
+        raise ValueError(f"not a communication call: {src.name}")
+    if isinstance(src, nir.AVar):
+        if isinstance(src.field, nir.Subscript) and any(
+                not isinstance(i, (nir.IndexRange, nir.Scalar))
+                for i in src.field.indices):
+            return "gather"
+        return "copy"
+    raise ValueError(f"cannot classify communication source {src}")
+
+
+def serial_ops(move: nir.Move) -> list[h.HostOp]:
+    """Front-end execution of a serial MOVE (scalar or element work)."""
+    ops: list[h.HostOp] = []
+    for clause in move.clauses:
+        if isinstance(clause.tgt, nir.SVar):
+            ops.append(h.ScalarMove(clause))
+        else:
+            ops.append(h.ElementMove(clause))
+    return ops
+
+
+def call_ops(stmt: nir.CallStmt) -> list[h.HostOp]:
+    """Host realizations of CALL/PRINT/STOP statements."""
+    if stmt.name == "print":
+        return [h.Print(values=stmt.args)]
+    if stmt.name == "stop":
+        return [h.Stop()]
+    raise ValueError(f"unsupported procedure call '{stmt.name}'")

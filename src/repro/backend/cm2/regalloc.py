@@ -1,0 +1,157 @@
+"""Vector register allocation for the virtual subgrid loop.
+
+"Because such a virtual subgrid loop with purely local references can be
+represented graphically as one basic block with a single back-edge,
+register allocation can be optimized.  Vector registers tend to be the
+limiting resource, so spill code is generated where necessary ...
+Finally, lifetime analysis allows optimal register assignment within the
+body of the virtual subgrid loop, with minimal spill traffic"
+(sections 5.2 and 6).
+
+The allocator is a linear scan over the straight-line vector IR with
+exact lifetimes (the code is SSA) and Belady's choice of spill victim
+(furthest next use).  Spills write to per-call PE scratch streams; one
+spill/restore pair costs 18 cycles, the paper's anchor constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...peac.isa import NUM_VREGS
+from .vir import Src, SrcKind, VProgram, uses_of, virt
+
+
+class AllocationError(Exception):
+    """Raised when allocation is impossible (e.g. too many live operands)."""
+
+
+@dataclass(frozen=True)
+class PhysOp:
+    """A vector operation over physical registers.
+
+    ``op`` as in :class:`VOp`, plus the pseudo-ops ``spill``/``restore``
+    (physical reg <-> spill slot).  Register numbers are physical.
+    """
+
+    op: str
+    srcs: tuple[Src, ...]    # VIRT sources now carry *physical* numbers
+    dst: int = -1
+    slot: int = -1           # spill/restore: scratch slot index
+
+
+@dataclass
+class AllocationResult:
+    ops: list[PhysOp] = field(default_factory=list)
+    spill_slots: int = 0
+    spills: int = 0
+    restores: int = 0
+    max_pressure: int = 0
+
+
+def allocate(program: VProgram, num_regs: int = NUM_VREGS
+             ) -> AllocationResult:
+    """Map virtual registers to ``num_regs`` physical vector registers."""
+    ops = program.ops
+    uses = uses_of(ops)
+    result = AllocationResult()
+
+    # State: where each live virtual currently lives.
+    reg_of: dict[int, int] = {}      # virtual -> physical
+    slot_of: dict[int, int] = {}     # virtual -> spill slot (may coexist)
+    owner: dict[int, int] = {}       # physical -> virtual
+    free: list[int] = list(range(num_regs - 1, -1, -1))
+    next_slot = 0
+
+    def next_use(v: int, after: int) -> int:
+        for pos in uses.get(v, ()):
+            if pos >= after:
+                return pos
+        return 1 << 30
+
+    def release_dead(pos: int) -> None:
+        dead = [v for v in list(reg_of) if next_use(v, pos) == 1 << 30]
+        for v in dead:
+            phys = reg_of.pop(v)
+            owner.pop(phys, None)
+            free.append(phys)
+            slot_of.pop(v, None)
+
+    def spill_one(pos: int, protected: set[int],
+                  allow_protected: bool = False) -> int:
+        nonlocal next_slot
+        candidates = [v for v in reg_of if v not in protected]
+        if not candidates and allow_protected:
+            # Destination allocation may evict a current source: the
+            # instruction reads its operands before the write commits,
+            # and the evicted value survives in its spill slot.
+            candidates = list(reg_of)
+        if not candidates:
+            raise AllocationError(
+                "all registers pinned by one instruction's operands")
+        victim = max(candidates, key=lambda v: next_use(v, pos))
+        phys = reg_of.pop(victim)
+        owner.pop(phys, None)
+        if victim not in slot_of:
+            slot_of[victim] = next_slot
+            next_slot += 1
+            result.ops.append(PhysOp("spill", (virt(phys),),
+                                     slot=slot_of[victim]))
+            result.spills += 1
+        free.append(phys)
+        return phys
+
+    def take_reg(pos: int, protected: set[int],
+                 for_dst: bool = False) -> int:
+        if not free:
+            spill_one(pos, protected, allow_protected=for_dst)
+        return free.pop()
+
+    def ensure_in_reg(v: int, pos: int, protected: set[int]) -> int:
+        if v in reg_of:
+            return reg_of[v]
+        if v not in slot_of:
+            raise AllocationError(f"use of undefined virtual v{v}")
+        phys = take_reg(pos, protected)
+        result.ops.append(PhysOp("restore", (), dst=phys,
+                                 slot=slot_of[v]))
+        result.restores += 1
+        reg_of[v] = phys
+        owner[phys] = v
+        return phys
+
+    for pos, op in enumerate(ops):
+        release_dead(pos)
+        # Bring spilled sources back; pin everything this op touches.
+        protected: set[int] = set()
+        for src in op.srcs:
+            if src.kind is SrcKind.VIRT:
+                protected.add(src.index)
+        phys_srcs: list[Src] = []
+        for src in op.srcs:
+            if src.kind is SrcKind.VIRT:
+                phys = ensure_in_reg(src.index, pos, protected)
+                phys_srcs.append(virt(phys))
+            else:
+                phys_srcs.append(src)
+        if op.dst >= 0:
+            # Sources whose last use is this op can donate their register.
+            for src in op.srcs:
+                if src.kind is SrcKind.VIRT \
+                        and next_use(src.index, pos + 1) == 1 << 30:
+                    v = src.index
+                    if v in reg_of:
+                        phys = reg_of.pop(v)
+                        owner.pop(phys, None)
+                        free.append(phys)
+                        slot_of.pop(v, None)
+            dst_phys = take_reg(pos, protected, for_dst=True)
+            reg_of[op.dst] = dst_phys
+            owner[dst_phys] = op.dst
+            result.ops.append(PhysOp(op.op, tuple(phys_srcs), dst=dst_phys))
+        else:
+            result.ops.append(PhysOp(op.op, tuple(phys_srcs)))
+        result.max_pressure = max(result.max_pressure, len(reg_of))
+
+    result.spill_slots = next_slot
+    return result

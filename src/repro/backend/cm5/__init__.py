@@ -1,0 +1,5 @@
+"""The CM5/NIR compiler: the retargeting experiment of section 5.3.1."""
+
+from .compiler import Cm5Compiler
+
+__all__ = ["Cm5Compiler"]

@@ -1,0 +1,68 @@
+"""CM/5 node model: SPARC scalar unit plus four vector datapaths.
+
+"In the new model a single NIR program will be split three ways rather
+than two; one part will go to the control processor, as before; a second
+part will be executed on the SPARC node processor, and a third part will
+carry out floating point vector operations on the CM/5 vector datapaths"
+(section 5.3.1).
+
+This module classifies each PEAC instruction of a compiled computation
+block by the unit that executes it on a CM/5 node, giving the three-way
+split statistics of the retargeting experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...peac.isa import Instr, Routine
+
+# Instruction kinds executed by the vector datapaths; everything else in
+# a node program (address arithmetic, masks, integer work) stays on the
+# SPARC scalar unit.
+_VU_KINDS = {
+    "arith", "arith1", "div", "sqrt", "trans", "fma", "cmp", "select",
+    "load", "store", "move",
+}
+_SPARC_KINDS = {"logic", "logic1", "iarith", "iarith1", "idiv", "branch"}
+
+
+def unit_of(instr: Instr) -> str:
+    """'vu' or 'sparc' — which node unit issues this instruction."""
+    if instr.kind in _VU_KINDS:
+        return "vu"
+    return "sparc"
+
+
+@dataclass(frozen=True)
+class NodeSplit:
+    """Three-way division of one computation block on a CM/5 node."""
+
+    routine: str
+    vu_instructions: int
+    sparc_instructions: int
+
+    @property
+    def total(self) -> int:
+        return self.vu_instructions + self.sparc_instructions
+
+    @property
+    def vu_fraction(self) -> float:
+        return self.vu_instructions / self.total if self.total else 0.0
+
+
+def split_routine(routine: Routine) -> NodeSplit:
+    vu = 0
+    sparc = 0
+    for instr in routine.body:
+        if unit_of(instr) == "vu":
+            vu += 1
+        else:
+            sparc += 1
+        if instr.paired is not None:
+            if unit_of(instr.paired) == "vu":
+                vu += 1
+            else:
+                sparc += 1
+    return NodeSplit(routine=routine.name, vu_instructions=vu,
+                     sparc_instructions=sparc)

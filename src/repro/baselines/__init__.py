@@ -1,0 +1,13 @@
+"""Comparison models: hand-coded *Lisp (fieldwise) and CM Fortran v1.1."""
+
+from .cmfortran import cmfortran_options, compile_cmfortran, run_cmfortran
+from .starlisp import Atomizer, compile_starlisp, run_starlisp
+
+__all__ = [
+    "cmfortran_options",
+    "compile_cmfortran",
+    "run_cmfortran",
+    "Atomizer",
+    "compile_starlisp",
+    "run_starlisp",
+]

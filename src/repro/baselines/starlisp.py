@@ -1,0 +1,148 @@
+"""The hand-coded \\*Lisp comparison model (fieldwise, per-operation).
+
+The paper's lower data point: "A hand-coded \\*Lisp version of SWE
+running under fieldwise mode peaked at 1.89 gigaflops."  \\*Lisp programs
+apply elemental operations over whole pvars one operation at a time:
+every ``+!!``/``*!!`` is its own node sweep, with its operands loaded
+from and its result stored to CM memory through the fieldwise
+transposer.  There is no cross-operation register reuse, no load
+chaining and no chained multiply-add.
+
+The model: the optimized program is *atomized* — every computation MOVE
+is split into single-operator MOVEs through temporaries — compiled with
+the naive node encoder (every operand through a register) and run on the
+fieldwise cost table.
+"""
+
+from __future__ import annotations
+
+from .. import nir
+from ..backend.cm2.partition import Cm2Compiler
+from ..backend.cm2.pe_compiler import BackendOptions
+from ..driver.compiler import (
+    CompilerOptions,
+    Executable,
+    RunResult,
+)
+from ..frontend.parser import parse_program
+from ..lowering import check_program, lower_program
+from ..lowering.analysis import Inference
+from ..lowering.environment import Environment
+from ..machine.cm2 import Machine
+from ..machine.costs import fieldwise_model
+from ..transform.pipeline import Options as TransformOptions
+from ..transform.pipeline import optimize, unwrap_body, wrap_body
+from ..transform.phases import PhaseClassifier, PhaseKind
+
+
+class Atomizer:
+    """Splits computation MOVEs into single-operator MOVEs (pvar style)."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.infer = Inference(env)
+        self.classifier = PhaseClassifier(env)
+        self.atomized_ops = 0
+
+    def atomize(self, node: nir.Imperative) -> nir.Imperative:
+        if isinstance(node, (nir.Program, nir.WithDomain, nir.WithDecl)):
+            import dataclasses
+
+            return dataclasses.replace(node, body=self.atomize(node.body))
+        if isinstance(node, nir.Sequentially):
+            return nir.seq(*[self.atomize(a) for a in node.actions])
+        if isinstance(node, nir.Do):
+            return nir.Do(node.shape, self.atomize(node.body),
+                          node.index_names)
+        if isinstance(node, nir.While):
+            return nir.While(node.cond, self.atomize(node.body))
+        if isinstance(node, nir.IfThenElse):
+            return nir.IfThenElse(node.cond, self.atomize(node.then),
+                                  self.atomize(node.els))
+        if isinstance(node, nir.Move):
+            phase = self.classifier.classify(node)
+            if phase.kind is not PhaseKind.COMPUTE:
+                return node
+            out: list[nir.Imperative] = []
+            for clause in node.clauses:
+                out.extend(self.atomize_clause(clause))
+            return nir.seq(*out)
+        return node
+
+    # ------------------------------------------------------------------
+
+    def atomize_clause(self, clause: nir.MoveClause
+                       ) -> list[nir.Imperative]:
+        prelude: list[nir.Imperative] = []
+        src = self._flatten(clause.src, prelude)
+        mask = clause.mask
+        if mask != nir.TRUE:
+            mask = self._flatten(clause.mask, prelude)
+        prelude.append(nir.Move((nir.MoveClause(mask, src, clause.tgt),)))
+        return prelude
+
+    def _flatten(self, value: nir.Value,
+                 prelude: list[nir.Imperative]) -> nir.Value:
+        """Reduce a value tree to a leaf, materializing every operator."""
+        if isinstance(value, (nir.Scalar, nir.SVar, nir.AVar,
+                              nir.LocalUnder)):
+            return value
+        if isinstance(value, nir.Binary):
+            left = self._flatten(value.left, prelude)
+            right = self._flatten(value.right, prelude)
+            return self._materialize(nir.Binary(value.op, left, right),
+                                     prelude)
+        if isinstance(value, nir.Unary):
+            operand = self._flatten(value.operand, prelude)
+            return self._materialize(nir.Unary(value.op, operand), prelude)
+        if isinstance(value, nir.FcnCall):
+            args = tuple(self._flatten(a, prelude) for a in value.args)
+            return self._materialize(nir.FcnCall(value.name, args), prelude)
+        raise TypeError(f"cannot atomize {type(value).__name__}")
+
+    def _materialize(self, value: nir.Value,
+                     prelude: list[nir.Imperative]) -> nir.Value:
+        info = self.infer.infer(value)
+        if info.shape is None:
+            # Purely scalar subtree: leave it whole (broadcast operand).
+            return value
+        tmp = self.env.fresh_temp(
+            nir.extents(info.shape, self.env.domains), info.elem)
+        prelude.append(
+            nir.move1(value, nir.AVar(tmp.name, nir.Everywhere())))
+        self.atomized_ops += 1
+        return nir.AVar(tmp.name, nir.Everywhere())
+
+
+def starlisp_backend_options() -> BackendOptions:
+    return BackendOptions.naive()
+
+
+def compile_starlisp(source: str) -> Executable:
+    """Compile under the fieldwise \\*Lisp execution model."""
+    unit = parse_program(source)
+    lowered = lower_program(unit)
+    check_program(lowered.nir, lowered.env)
+    transformed = optimize(lowered, TransformOptions(
+        block=False, fuse=False, pad_masks=False))
+    atomizer = Atomizer(transformed.env)
+    body = atomizer.atomize(unwrap_body(transformed.nir))
+    program = wrap_body(body, transformed.env, transformed.nir.name)
+    transformed.nir = program
+
+    compiler = Cm2Compiler(transformed.env,
+                           options=starlisp_backend_options())
+    host_program = compiler.compile_program(program)
+    options = CompilerOptions(
+        transform=TransformOptions(block=False, fuse=False,
+                                   pad_masks=False),
+        backend=starlisp_backend_options())
+    return Executable(host_program=host_program, env=transformed.env,
+                      unit=unit, lowered=lowered, transformed=transformed,
+                      partition=compiler.report, options=options)
+
+
+def run_starlisp(source: str, n_pes: int = 2048) -> RunResult:
+    """Compile and run under the \\*Lisp fieldwise model."""
+    exe = compile_starlisp(source)
+    return exe.run(Machine(fieldwise_model(n_pes)))

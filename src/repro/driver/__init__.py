@@ -1,0 +1,13 @@
+"""End-to-end driver: compile, execute, measure, and verify."""
+
+from .compiler import (
+    CompilerOptions,
+    Executable,
+    RunResult,
+    compile_source,
+    compile_unit,
+)
+from .metrics import PerfSummary, speedup, summarize
+from .reference import ReferenceResult, run_reference
+
+__all__ = [name for name in dir() if not name.startswith("_")]

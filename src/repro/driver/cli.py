@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command> file.f90``.
+
+Commands:
+
+* ``compile`` — run the pipeline and print intermediate representations
+  (``--emit nir|nir-opt|peac|host``, repeatable);
+* ``run`` — execute on the simulated machine, print program output and
+  the performance summary;
+* ``compare`` — the paper's §6 experiment on any program: Fortran-90-Y
+  vs the CM Fortran and \\*Lisp models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .. import nir
+from ..baselines import compile_cmfortran, compile_starlisp
+from ..machine import Machine, cm5_model, fieldwise_model, slicewise_model
+from ..peac import format_routine
+from ..runtime.host import format_host_program
+from ..runtime.sparc import render_sparc
+from .compiler import CompilerOptions, compile_source
+from .metrics import summarize
+
+
+def _options(args) -> CompilerOptions:
+    if getattr(args, "naive", False):
+        return CompilerOptions.naive()
+    if getattr(args, "neighborhood", False):
+        base = CompilerOptions.neighborhood()
+    else:
+        base = CompilerOptions()
+    if getattr(args, "target", "cm2") != "cm2":
+        import dataclasses
+
+        base = dataclasses.replace(base, target=args.target)
+    return base
+
+
+def _machine(args) -> Machine:
+    n_pes = getattr(args, "pes", 2048)
+    name = getattr(args, "model", "slicewise")
+    if name == "fieldwise":
+        return Machine(fieldwise_model(n_pes))
+    if name == "cm5":
+        return Machine(cm5_model(n_pes))
+    return Machine(slicewise_model(n_pes))
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as f:
+        return f.read()
+
+
+def cmd_compile(args) -> int:
+    source = _read_source(args.file)
+    exe = compile_source(source, _options(args))
+    emits = args.emit or ["peac"]
+    out = []
+    if "nir" in emits:
+        out.append("=== NIR (after semantic lowering) ===")
+        out.append(nir.pretty(exe.lowered.nir))
+    if "nir-opt" in emits:
+        out.append("=== NIR (after target-independent optimization) ===")
+        out.append(nir.pretty(exe.transformed.nir))
+    if "peac" in emits:
+        out.append("=== PEAC node code ===")
+        for routine in exe.routines.values():
+            out.append(format_routine(routine))
+            out.append("")
+    if "host" in emits:
+        out.append("=== host (front-end) program ===")
+        out.append(format_host_program(exe.host_program))
+    if "sparc" in emits:
+        out.append("=== host program as SPARC assembly ===")
+        out.append(render_sparc(exe.host_program))
+    out.append("")
+    out.append(f"; {exe.partition.compute_blocks} computation blocks, "
+               f"{exe.partition.comm_phases} communications, "
+               f"{exe.partition.reductions} reductions, "
+               f"{exe.partition.serial_moves} serial moves")
+    print("\n".join(out))
+    return 0
+
+
+def cmd_run(args) -> int:
+    source = _read_source(args.file)
+    exe = compile_source(source, _options(args))
+    machine = _machine(args)
+    result = exe.run(machine)
+    for line in result.output:
+        print(line)
+    if args.stats:
+        clock = machine.model.clock_hz
+        print(file=sys.stderr)
+        print(summarize(machine.model.name, result.stats, clock).row(),
+              file=sys.stderr)
+        b = result.stats.breakdown()
+        print(f"breakdown: node {b['node']:.1%}  call {b['call']:.1%}  "
+              f"comm {b['comm']:.1%}  host {b['host']:.1%}",
+              file=sys.stderr)
+        for name, cycles in sorted(result.stats.per_routine.items()):
+            print(f"  {name:<12} {cycles:>12,d} node cycles",
+                  file=sys.stderr)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    source = _read_source(args.file)
+    rows = []
+    exe = compile_starlisp(source)
+    rows.append(("*Lisp (fieldwise)",
+                 exe.run(Machine(fieldwise_model(args.pes)))))
+    exe = compile_cmfortran(source)
+    rows.append(("CM Fortran v1.1",
+                 exe.run(Machine(slicewise_model(args.pes)))))
+    exe = compile_source(source)
+    rows.append(("Fortran-90-Y",
+                 exe.run(Machine(slicewise_model(args.pes)))))
+    print(f"{'model':<20} {'GFLOPS':>8} {'cycles':>14} {'calls':>7}")
+    for label, result in rows:
+        print(f"{label:<20} {result.gflops():>8.3f} "
+              f"{result.stats.total_cycles:>14,d} "
+              f"{result.stats.node_calls:>7d}")
+    base = rows[-1][1].stats.total_cycles
+    for label, result in rows[:-1]:
+        print(f"Fortran-90-Y speedup over {label}: "
+              f"{result.stats.total_cycles / base:.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fortran-90-Y: a data-parallel Fortran 90 compiler "
+                    "for a simulated Connection Machine CM/2")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile and print IRs")
+    p.add_argument("file", help="Fortran source file, or - for stdin")
+    p.add_argument("--emit", action="append",
+                   choices=["nir", "nir-opt", "peac", "host", "sparc"],
+                   help="IR(s) to print (default: peac)")
+    p.add_argument("--naive", action="store_true",
+                   help="per-statement compilation, naive node encoding")
+    p.add_argument("--neighborhood", action="store_true",
+                   help="§5.3.2 neighborhood model (CSHIFT halo streams)")
+    p.add_argument("--target", choices=["cm2", "cm5"], default="cm2")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and execute on the simulator")
+    p.add_argument("file", help="Fortran source file, or - for stdin")
+    p.add_argument("--pes", type=int, default=2048,
+                   help="number of processing elements (power of two)")
+    p.add_argument("--model", choices=["slicewise", "fieldwise", "cm5"],
+                   default="slicewise")
+    p.add_argument("--naive", action="store_true")
+    p.add_argument("--neighborhood", action="store_true")
+    p.add_argument("--target", choices=["cm2", "cm5"], default="cm2")
+    p.add_argument("--stats", action="store_true",
+                   help="print the performance summary to stderr")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare",
+                       help="the §6 three-compiler comparison")
+    p.add_argument("file", help="Fortran source file, or - for stdin")
+    p.add_argument("--pes", type=int, default=2048)
+    p.set_defaults(func=cmd_compare)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # compile/runtime diagnostics
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,49 @@
+"""Performance metrics helpers shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.stats import RunStats
+
+
+@dataclass(frozen=True)
+class PerfSummary:
+    """One run's headline numbers, as the paper reports them."""
+
+    label: str
+    gflops: float
+    total_cycles: int
+    flops: int
+    node_calls: int
+    comm_fraction: float
+    call_fraction: float
+    host_fraction: float
+
+    def row(self) -> str:
+        return (f"{self.label:<24} {self.gflops:7.2f} GF  "
+                f"{self.total_cycles:>14,d} cyc  "
+                f"{self.node_calls:>6d} calls  "
+                f"comm {self.comm_fraction:5.1%}  "
+                f"host {self.host_fraction:5.1%}")
+
+
+def summarize(label: str, stats: RunStats, clock_hz: float) -> PerfSummary:
+    breakdown = stats.breakdown()
+    return PerfSummary(
+        label=label,
+        gflops=stats.gflops(clock_hz),
+        total_cycles=stats.total_cycles,
+        flops=stats.flops,
+        node_calls=stats.node_calls,
+        comm_fraction=breakdown["comm"],
+        call_fraction=breakdown["call"],
+        host_fraction=breakdown["host"],
+    )
+
+
+def speedup(base: PerfSummary, other: PerfSummary) -> float:
+    """How much faster ``other`` is than ``base`` (wall-clock ratio)."""
+    if other.total_cycles == 0:
+        return float("inf")
+    return base.total_cycles / other.total_cycles

@@ -1,0 +1,15 @@
+"""Fortran 90 front end: lexer, parser, ASTs and intrinsic catalogue."""
+
+from . import ast_nodes
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse_expression, parse_program, parse_statements
+
+__all__ = [
+    "ast_nodes",
+    "tokenize",
+    "LexError",
+    "ParseError",
+    "parse_program",
+    "parse_statements",
+    "parse_expression",
+]

@@ -1,0 +1,335 @@
+"""Abstract syntax trees produced by the Fortran 90 front end.
+
+These are purely syntactic: no types or shapes are attached.  The
+semantic lowering phase (``repro.lowering``) pattern-matches these forms
+and emits NIR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AstNode:
+    """Base class for all AST nodes."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr(AstNode):
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class RealLit(Expr):
+    value: float
+    double: bool = False
+
+    def __str__(self) -> str:
+        return repr(self.value) + ("d0" if self.double else "")
+
+
+@dataclass(frozen=True)
+class LogicalLit(Expr):
+    value: bool
+
+    def __str__(self) -> str:
+        return ".true." if self.value else ".false."
+
+
+@dataclass(frozen=True)
+class StringLit(Expr):
+    value: str
+
+    def __str__(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A bare identifier reference (scalar variable or whole array)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SectionRange(Expr):
+    """A subscript triplet ``lo:hi:stride``; any part may be omitted."""
+
+    lo: Expr | None = None
+    hi: Expr | None = None
+    stride: Expr | None = None
+
+    def __str__(self) -> str:
+        s = f"{self.lo or ''}:{self.hi or ''}"
+        if self.stride is not None:
+            s += f":{self.stride}"
+        return s
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """``name(sub1, sub2, ...)`` — array element, section, or function call.
+
+    Fortran syntax cannot distinguish array references from function calls
+    without declarations, so the parser emits ``ArrayRef`` and the
+    lowerer disambiguates against the symbol table and intrinsics list.
+    """
+
+    name: str
+    subscripts: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(s) for s in self.subscripts)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class KeywordArg(Expr):
+    """``DIM=1`` style keyword argument inside an intrinsic call."""
+
+    name: str
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"{self.name}={self.value}"
+
+
+@dataclass(frozen=True)
+class BinExpr(Expr):
+    op: str  # '+','-','*','/','**','==','/=','<','<=','>','>=','.and.',...
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnExpr(Expr):
+    op: str  # '-', '+', '.not.'
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Entity(AstNode):
+    """One declared name with optional per-entity array spec and init."""
+
+    name: str
+    dims: tuple[Expr, ...] = ()
+    init: Expr | None = None
+
+
+@dataclass(frozen=True)
+class TypeDecl(AstNode):
+    """A type declaration statement.
+
+    ``base`` is one of ``integer | real | double | logical``; ``dims``
+    holds an ``ARRAY(...)``/``DIMENSION(...)`` attribute applying to all
+    entities lacking their own spec; ``parameter`` marks named constants.
+    """
+
+    base: str
+    entities: tuple[Entity, ...]
+    dims: tuple[Expr, ...] = ()
+    parameter: bool = False
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt(AstNode):
+    """Base class for executable statements."""
+
+
+@dataclass(frozen=True)
+class Assignment(Stmt):
+    target: Expr  # VarRef or ArrayRef
+    expr: Expr
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class ForallTriplet(AstNode):
+    var: str
+    lo: Expr
+    hi: Expr
+    stride: Expr | None = None
+
+
+@dataclass(frozen=True)
+class ForallStmt(Stmt):
+    """Statement-form FORALL over one assignment (Figure 7)."""
+
+    triplets: tuple[ForallTriplet, ...]
+    assignment: Assignment
+    mask: Expr | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class WhereConstruct(Stmt):
+    """``WHERE (mask) ... [ELSEWHERE ...] END WHERE`` (or statement form)."""
+
+    mask: Expr
+    body: tuple[Assignment, ...]
+    elsewhere: tuple[Assignment, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class DoLoop(Stmt):
+    """A serial DO loop, either labelled (F77) or block (F90) form."""
+
+    var: str
+    lo: Expr
+    hi: Expr
+    step: Expr | None
+    body: tuple[Stmt, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class DoWhile(Stmt):
+    cond: Expr
+    body: tuple[Stmt, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class IfConstruct(Stmt):
+    """IF/ELSE IF/ELSE chain; ``arms`` pairs conditions with bodies."""
+
+    arms: tuple[tuple[Expr, tuple[Stmt, ...]], ...]
+    else_body: tuple[Stmt, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CallStmt(Stmt):
+    name: str
+    args: tuple[Expr, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class PrintStmt(Stmt):
+    items: tuple[Expr, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ContinueStmt(Stmt):
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class StopStmt(Stmt):
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ReturnStmt(Stmt):
+    """RETURN from a subroutine (only trailing returns are supported)."""
+
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ProgramUnit(AstNode):
+    """A PROGRAM or SUBROUTINE unit: declarations then statements."""
+
+    name: str
+    decls: tuple[TypeDecl, ...]
+    body: tuple[Stmt, ...]
+    kind: str = "program"          # 'program' | 'subroutine'
+    params: tuple[str, ...] = ()   # subroutine formal parameter names
+
+
+@dataclass(frozen=True)
+class SourceFile(AstNode):
+    """A whole source file: one main program plus subroutine units."""
+
+    units: tuple[ProgramUnit, ...]
+
+    @property
+    def main(self) -> "ProgramUnit":
+        for unit in self.units:
+            if unit.kind == "program":
+                return unit
+        raise ValueError("source file has no main program")
+
+    @property
+    def subroutines(self) -> dict[str, "ProgramUnit"]:
+        return {u.name: u for u in self.units if u.kind == "subroutine"}
+
+    @property
+    def functions(self) -> dict[str, "ProgramUnit"]:
+        return {u.name: u for u in self.units if u.kind == "function"}
+
+
+def walk_stmts(stmts):
+    """Pre-order traversal of all statements, descending into blocks."""
+    for s in stmts:
+        yield s
+        if isinstance(s, (DoLoop, DoWhile)):
+            yield from walk_stmts(s.body)
+        elif isinstance(s, IfConstruct):
+            for _, arm in s.arms:
+                yield from walk_stmts(arm)
+            yield from walk_stmts(s.else_body)
+        elif isinstance(s, WhereConstruct):
+            yield from walk_stmts(s.body)
+            yield from walk_stmts(s.elsewhere)
+        elif isinstance(s, ForallStmt):
+            yield s.assignment
+
+
+def walk_exprs(e: Expr):
+    """Pre-order traversal of an expression tree."""
+    yield e
+    if isinstance(e, BinExpr):
+        yield from walk_exprs(e.left)
+        yield from walk_exprs(e.right)
+    elif isinstance(e, UnExpr):
+        yield from walk_exprs(e.operand)
+    elif isinstance(e, ArrayRef):
+        for s in e.subscripts:
+            yield from walk_exprs(s)
+    elif isinstance(e, KeywordArg):
+        yield from walk_exprs(e.value)
+    elif isinstance(e, SectionRange):
+        for part in (e.lo, e.hi, e.stride):
+            if part is not None:
+                yield from walk_exprs(part)

@@ -1,0 +1,55 @@
+"""Layout directives: explicit data layout as a source-level annotation.
+
+Section 5.3.2 suggests "extra modules to provide services from the
+runtime system previously taken for granted, such as explicit data
+layout."  CM Fortran exposed this as ``CMF$ LAYOUT`` directives; the
+reproduction accepts the same idea as comment directives::
+
+    !layout: a(news, serial)
+
+Each axis is either ``news`` (spread across processing elements — the
+default) or ``serial`` (kept entirely within each PE's subgrid, so
+communication along it is free and the PE grid concentrates on the
+other axes).  Directives are comments: the reference semantics are
+unchanged; only the machine geometry (and therefore the cost profile)
+responds.
+"""
+
+from __future__ import annotations
+
+import re
+
+_DIRECTIVE_RE = re.compile(
+    r"^\s*!\s*layout\s*:\s*(?P<name>[a-z_]\w*)\s*\(\s*(?P<axes>[^)]*)\)\s*$",
+    re.IGNORECASE,
+)
+
+VALID_MODES = ("news", "serial")
+
+
+class DirectiveError(Exception):
+    """Raised on malformed layout directives."""
+
+
+def parse_layout_directives(source: str) -> dict[str, tuple[str, ...]]:
+    """Extract ``!layout:`` directives from raw source text.
+
+    Returns a map of array name to per-axis modes.  Raises
+    :class:`DirectiveError` on unknown modes; rank agreement with the
+    declaration is checked later, at allocation.
+    """
+    out: dict[str, tuple[str, ...]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _DIRECTIVE_RE.match(line)
+        if m is None:
+            continue
+        name = m.group("name").lower()
+        modes = tuple(part.strip().lower().lstrip(":")
+                      for part in m.group("axes").split(","))
+        for mode in modes:
+            if mode not in VALID_MODES:
+                raise DirectiveError(
+                    f"line {lineno}: unknown layout mode '{mode}' "
+                    f"(expected one of {', '.join(VALID_MODES)})")
+        out[name] = modes
+    return out

@@ -1,0 +1,416 @@
+"""Subroutine inline expansion: parameter passing at the AST level.
+
+NIR's value and imperative domains carry the parameter-passing operators
+``REF_IN``/``COPY_IN``/``REF_OUT``/``COPY_OUT`` (Figure 5).  The
+prototype realizes them by inline expansion before lowering:
+
+* a *variable* actual argument binds by reference (``REF_IN``): the
+  formal is renamed to the actual throughout the callee body, so stores
+  are visible to the caller;
+* an *expression* actual binds by value (``COPY_IN``): a fresh temporary
+  receives the value and substitutes for the formal (callee stores land
+  in the discarded temporary, matching Fortran's rule that such actuals
+  must not be redefined);
+* callee locals are renamed apart (``<name>_<sub><k>``);
+* a FUNCTION reference in an expression hoists an inlined body computing
+  into a fresh result temporary (the function-name variable, renamed),
+  emitted before the statement — with lazily-re-evaluated positions
+  (DO WHILE conditions, later ELSE IF arms, FORALL bodies) rejected
+  rather than silently evaluated eagerly.
+
+Only trailing RETURNs are supported, and recursion is rejected (the
+paper's prototype likewise compiled an "interesting subset").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from . import ast_nodes as A
+
+
+class InlineError(Exception):
+    """Raised for unsupported call forms or arity errors."""
+
+
+_MAX_DEPTH = 16
+
+
+def inline_program(source_file: A.SourceFile) -> A.ProgramUnit:
+    """Expand every subroutine CALL and function reference into main."""
+    inliner = Inliner(source_file.subroutines, source_file.functions)
+    main = source_file.main
+    body = inliner.expand_block(main.body, depth=0)
+    decls = main.decls + tuple(inliner.new_decls)
+    return A.ProgramUnit(name=main.name, decls=decls, body=body,
+                         kind="program")
+
+
+class Inliner:
+    def __init__(self, subroutines: dict[str, A.ProgramUnit],
+                 functions: dict[str, A.ProgramUnit] | None = None) -> None:
+        self.subroutines = subroutines
+        self.functions = functions or {}
+        self.new_decls: list[A.TypeDecl] = []
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+
+    def expand_block(self, stmts, depth: int) -> tuple[A.Stmt, ...]:
+        out: list[A.Stmt] = []
+        for stmt in stmts:
+            out.extend(self.expand_stmt(stmt, depth))
+        return tuple(out)
+
+    def expand_stmt(self, stmt: A.Stmt, depth: int) -> list[A.Stmt]:
+        prelude, stmt = self._hoist_functions(stmt, depth)
+        if prelude:
+            out = list(prelude)
+            out.extend(self.expand_stmt_after_hoist(stmt, depth))
+            return out
+        return self.expand_stmt_after_hoist(stmt, depth)
+
+    def expand_stmt_after_hoist(self, stmt: A.Stmt,
+                                depth: int) -> list[A.Stmt]:
+        if isinstance(stmt, A.CallStmt) and stmt.name in self.subroutines:
+            return list(self.expand_call(stmt, depth))
+        if isinstance(stmt, A.DoLoop):
+            return [dataclasses.replace(
+                stmt, body=self.expand_block(stmt.body, depth))]
+        if isinstance(stmt, A.DoWhile):
+            return [dataclasses.replace(
+                stmt, body=self.expand_block(stmt.body, depth))]
+        if isinstance(stmt, A.IfConstruct):
+            arms = tuple((cond, self.expand_block(body, depth))
+                         for cond, body in stmt.arms)
+            return [dataclasses.replace(
+                stmt, arms=arms,
+                else_body=self.expand_block(stmt.else_body, depth))]
+        return [stmt]
+
+    # -- function reference expansion ------------------------------------
+
+    def _contains_function_call(self, expr: A.Expr) -> bool:
+        return any(isinstance(e, A.ArrayRef) and e.name in self.functions
+                   for e in A.walk_exprs(expr))
+
+    def _hoist_functions(self, stmt: A.Stmt, depth: int
+                         ) -> tuple[list[A.Stmt], A.Stmt]:
+        """Replace function references in a statement's expressions.
+
+        Each reference becomes an inlined body computing into a fresh
+        result temporary, emitted before the statement.  Forms whose
+        expressions are re-evaluated lazily (DO WHILE conditions, later
+        ELSE IF arms, FORALL bodies) reject function references rather
+        than silently changing evaluation order.
+        """
+        if not self.functions:
+            return [], stmt
+        prelude: list[A.Stmt] = []
+
+        def rewrite(expr: A.Expr) -> A.Expr:
+            if isinstance(expr, A.ArrayRef) and expr.name in self.functions:
+                args = tuple(rewrite(a) for a in expr.subscripts)
+                return self._expand_function(expr.name, args, prelude,
+                                             depth)
+            if isinstance(expr, A.ArrayRef):
+                return A.ArrayRef(expr.name,
+                                  tuple(rewrite(a) for a in expr.subscripts))
+            if isinstance(expr, A.BinExpr):
+                return A.BinExpr(expr.op, rewrite(expr.left),
+                                 rewrite(expr.right))
+            if isinstance(expr, A.UnExpr):
+                return A.UnExpr(expr.op, rewrite(expr.operand))
+            if isinstance(expr, A.KeywordArg):
+                return A.KeywordArg(expr.name, rewrite(expr.value))
+            if isinstance(expr, A.SectionRange):
+                def part(e):
+                    return None if e is None else rewrite(e)
+                return A.SectionRange(part(expr.lo), part(expr.hi),
+                                      part(expr.stride))
+            return expr
+
+        if isinstance(stmt, A.Assignment):
+            new = A.Assignment(rewrite(stmt.target), rewrite(stmt.expr),
+                               stmt.line)
+            return prelude, new
+        if isinstance(stmt, A.CallStmt):
+            return prelude, A.CallStmt(stmt.name,
+                                       tuple(rewrite(a) for a in stmt.args),
+                                       stmt.line)
+        if isinstance(stmt, A.PrintStmt):
+            return prelude, A.PrintStmt(
+                tuple(rewrite(e) for e in stmt.items), stmt.line)
+        if isinstance(stmt, A.DoLoop):
+            new = A.DoLoop(stmt.var, rewrite(stmt.lo), rewrite(stmt.hi),
+                           None if stmt.step is None else rewrite(stmt.step),
+                           stmt.body, stmt.line)
+            return prelude, new
+        if isinstance(stmt, A.DoWhile):
+            if self._contains_function_call(stmt.cond):
+                raise InlineError(
+                    "function references in DO WHILE conditions are not "
+                    "supported (re-evaluated each iteration)")
+            return [], stmt
+        if isinstance(stmt, A.IfConstruct):
+            first_cond, first_body = stmt.arms[0]
+            for cond, _ in stmt.arms[1:]:
+                if self._contains_function_call(cond):
+                    raise InlineError(
+                        "function references in ELSE IF conditions are "
+                        "not supported (evaluated lazily)")
+            arms = ((rewrite(first_cond), first_body),) + stmt.arms[1:]
+            return prelude, A.IfConstruct(arms, stmt.else_body, stmt.line)
+        if isinstance(stmt, A.WhereConstruct):
+            body = tuple(self._hoisted_assign(a, prelude, depth)
+                         for a in stmt.body)
+            elsewhere = tuple(self._hoisted_assign(a, prelude, depth)
+                              for a in stmt.elsewhere)
+            return prelude, A.WhereConstruct(rewrite(stmt.mask), body,
+                                             elsewhere, stmt.line)
+        if isinstance(stmt, A.ForallStmt):
+            for e in A.walk_exprs(stmt.assignment.expr):
+                if isinstance(e, A.ArrayRef) and e.name in self.functions:
+                    raise InlineError(
+                        "function references inside FORALL are not "
+                        "supported (per-point evaluation)")
+            return [], stmt
+        return [], stmt
+
+    def _hoisted_assign(self, a: A.Assignment, prelude: list[A.Stmt],
+                        depth: int) -> A.Assignment:
+        extra, new = self._hoist_functions(a, depth)
+        prelude.extend(extra)
+        return new
+
+    def _expand_function(self, name: str, args, prelude: list[A.Stmt],
+                         depth: int) -> A.Expr:
+        if depth >= _MAX_DEPTH:
+            raise InlineError(
+                f"function '{name}' exceeds inline depth {_MAX_DEPTH} "
+                f"(recursion is not supported)")
+        fn = self.functions[name]
+        call = A.CallStmt(name=name, args=tuple(args))
+        # Reuse the subroutine machinery, treating the function name as
+        # an extra by-value local that receives the result.
+        stmts, result_temp = self._expand_unit(fn, call, depth,
+                                               result_name=name)
+        prelude.extend(stmts)
+        return A.VarRef(result_temp)
+
+    # ------------------------------------------------------------------
+
+    def expand_call(self, call: A.CallStmt, depth: int):
+        if depth >= _MAX_DEPTH:
+            raise InlineError(
+                f"call to '{call.name}' exceeds inline depth "
+                f"{_MAX_DEPTH} (recursion is not supported)")
+        stmts, _ = self._expand_unit(self.subroutines[call.name], call,
+                                     depth, result_name=None)
+        return tuple(stmts)
+
+    def _expand_unit(self, sub: A.ProgramUnit, call: A.CallStmt,
+                     depth: int, result_name: str | None
+                     ) -> tuple[list[A.Stmt], str]:
+        if len(call.args) != len(sub.params):
+            raise InlineError(
+                f"'{call.name}' expects {len(sub.params)} arguments, "
+                f"got {len(call.args)}")
+        self._counter += 1
+        tag = f"{sub.name}{self._counter}"
+
+        renames: dict[str, str] = {}
+        prelude: list[A.Stmt] = []
+
+        formal_decls = {}
+        for decl in sub.decls:
+            for entity in decl.entities:
+                formal_decls[entity.name] = (decl, entity)
+
+        # Formals: by reference for plain variables, by value otherwise.
+        for formal, actual in zip(sub.params, call.args):
+            if isinstance(actual, A.KeywordArg):
+                raise InlineError(
+                    f"'{call.name}': keyword arguments are not supported")
+            if isinstance(actual, A.VarRef):
+                renames[formal] = actual.name  # REF_IN / REF_OUT
+                continue
+            if formal not in formal_decls:
+                raise InlineError(
+                    f"'{call.name}': formal '{formal}' is undeclared")
+            temp = f"{formal}_{tag}"
+            renames[formal] = temp  # COPY_IN
+            self._declare_like(temp, *formal_decls[formal])
+            prelude.append(A.Assignment(target=A.VarRef(temp),
+                                        expr=actual, line=call.line))
+
+        # Locals (declared, not formal), including the function result
+        # variable, which shares the unit's name.
+        result_temp = ""
+        for decl in sub.decls:
+            for entity in decl.entities:
+                if entity.name in sub.params:
+                    continue
+                local = f"{entity.name}_{tag}"
+                renames[entity.name] = local
+                self._declare_like(local, decl, entity)
+                if result_name is not None and entity.name == result_name:
+                    result_temp = local
+        if result_name is not None and not result_temp:
+            raise InlineError(
+                f"function '{sub.name}' never declares its result type")
+        if result_name is not None:
+            # A subscripted reference to the function's own name inside
+            # its body is recursion when the result is scalar (for array
+            # results it is an element access of the result variable).
+            result_is_array = any(
+                (entity.dims or decl.dims)
+                for decl in sub.decls for entity in decl.entities
+                if entity.name == result_name)
+            if not result_is_array:
+                for stmt in A.walk_stmts(sub.body):
+                    for e in _stmt_exprs(stmt):
+                        for node in A.walk_exprs(e):
+                            if isinstance(node, A.ArrayRef) \
+                                    and node.name == sub.name:
+                                raise InlineError(
+                                    f"function '{sub.name}' exceeds "
+                                    f"inline depth (recursion is not "
+                                    f"supported)")
+
+        body = _strip_trailing_return(sub.body, sub.name)
+        renamed = tuple(_rename_stmt(s, renames) for s in body)
+        expanded = self.expand_block(renamed, depth + 1)
+        return list(prelude) + list(expanded), result_temp
+
+    def _declare_like(self, name: str, decl: A.TypeDecl,
+                      entity: A.Entity) -> None:
+        new_entity = A.Entity(name=name, dims=entity.dims,
+                              init=entity.init)
+        self.new_decls.append(A.TypeDecl(
+            base=decl.base, entities=(new_entity,), dims=decl.dims,
+            parameter=decl.parameter, line=decl.line))
+
+
+# ---------------------------------------------------------------------------
+# Renaming
+# ---------------------------------------------------------------------------
+
+
+def _stmt_exprs(stmt: A.Stmt):
+    """The expressions a statement evaluates directly."""
+    if isinstance(stmt, A.Assignment):
+        return (stmt.target, stmt.expr)
+    if isinstance(stmt, A.CallStmt):
+        return stmt.args
+    if isinstance(stmt, A.PrintStmt):
+        return stmt.items
+    if isinstance(stmt, A.DoLoop):
+        return tuple(e for e in (stmt.lo, stmt.hi, stmt.step)
+                     if e is not None)
+    if isinstance(stmt, A.DoWhile):
+        return (stmt.cond,)
+    if isinstance(stmt, A.IfConstruct):
+        return tuple(cond for cond, _ in stmt.arms)
+    if isinstance(stmt, A.WhereConstruct):
+        return (stmt.mask,)
+    if isinstance(stmt, A.ForallStmt):
+        return (stmt.assignment.target, stmt.assignment.expr) + (
+            (stmt.mask,) if stmt.mask is not None else ())
+    return ()
+
+
+def _strip_trailing_return(body, name: str):
+    stmts = list(body)
+    while stmts and isinstance(stmts[-1], A.ReturnStmt):
+        stmts.pop()
+    for s in A.walk_stmts(stmts):
+        if isinstance(s, A.ReturnStmt):
+            raise InlineError(
+                f"'{name}': only trailing RETURN statements are supported")
+    return tuple(stmts)
+
+
+def _rename_expr(expr: A.Expr, renames: dict[str, str]) -> A.Expr:
+    if isinstance(expr, A.VarRef):
+        if expr.name in renames:
+            return A.VarRef(renames[expr.name])
+        return expr
+    if isinstance(expr, A.ArrayRef):
+        name = renames.get(expr.name, expr.name)
+        return A.ArrayRef(name=name, subscripts=tuple(
+            _rename_expr(s, renames) for s in expr.subscripts))
+    if isinstance(expr, A.BinExpr):
+        return A.BinExpr(expr.op, _rename_expr(expr.left, renames),
+                         _rename_expr(expr.right, renames))
+    if isinstance(expr, A.UnExpr):
+        return A.UnExpr(expr.op, _rename_expr(expr.operand, renames))
+    if isinstance(expr, A.KeywordArg):
+        return A.KeywordArg(expr.name, _rename_expr(expr.value, renames))
+    if isinstance(expr, A.SectionRange):
+        def part(e):
+            return None if e is None else _rename_expr(e, renames)
+        return A.SectionRange(part(expr.lo), part(expr.hi),
+                              part(expr.stride))
+    return expr
+
+
+def _rename_stmt(stmt: A.Stmt, renames: dict[str, str]) -> A.Stmt:
+    if isinstance(stmt, A.Assignment):
+        return A.Assignment(_rename_expr(stmt.target, renames),
+                            _rename_expr(stmt.expr, renames), stmt.line)
+    if isinstance(stmt, A.ForallStmt):
+        # Triplet variables are local binders: shield them.
+        shielded = {k: v for k, v in renames.items()
+                    if k not in {t.var for t in stmt.triplets}}
+        triplets = tuple(A.ForallTriplet(
+            t.var, _rename_expr(t.lo, shielded),
+            _rename_expr(t.hi, shielded),
+            None if t.stride is None else _rename_expr(t.stride, shielded))
+            for t in stmt.triplets)
+        return A.ForallStmt(
+            triplets=triplets,
+            assignment=_rename_stmt(stmt.assignment, shielded),
+            mask=(None if stmt.mask is None
+                  else _rename_expr(stmt.mask, shielded)),
+            line=stmt.line)
+    if isinstance(stmt, A.WhereConstruct):
+        return A.WhereConstruct(
+            mask=_rename_expr(stmt.mask, renames),
+            body=tuple(_rename_stmt(s, renames) for s in stmt.body),
+            elsewhere=tuple(_rename_stmt(s, renames)
+                            for s in stmt.elsewhere),
+            line=stmt.line)
+    if isinstance(stmt, A.DoLoop):
+        var = renames.get(stmt.var, stmt.var)
+        return A.DoLoop(
+            var=var, lo=_rename_expr(stmt.lo, renames),
+            hi=_rename_expr(stmt.hi, renames),
+            step=(None if stmt.step is None
+                  else _rename_expr(stmt.step, renames)),
+            body=tuple(_rename_stmt(s, renames) for s in stmt.body),
+            line=stmt.line)
+    if isinstance(stmt, A.DoWhile):
+        return A.DoWhile(
+            cond=_rename_expr(stmt.cond, renames),
+            body=tuple(_rename_stmt(s, renames) for s in stmt.body),
+            line=stmt.line)
+    if isinstance(stmt, A.IfConstruct):
+        return A.IfConstruct(
+            arms=tuple((
+                _rename_expr(cond, renames),
+                tuple(_rename_stmt(s, renames) for s in body))
+                for cond, body in stmt.arms),
+            else_body=tuple(_rename_stmt(s, renames)
+                            for s in stmt.else_body),
+            line=stmt.line)
+    if isinstance(stmt, A.CallStmt):
+        return A.CallStmt(
+            name=stmt.name,
+            args=tuple(_rename_expr(a, renames) for a in stmt.args),
+            line=stmt.line)
+    if isinstance(stmt, A.PrintStmt):
+        return A.PrintStmt(items=tuple(_rename_expr(e, renames)
+                                       for e in stmt.items),
+                           line=stmt.line)
+    return stmt

@@ -1,0 +1,129 @@
+"""Fortran 90 intrinsic procedure catalogue.
+
+Classifies the intrinsics the prototype understands, the way the paper's
+compiler does: *elemental* intrinsics compile to node instructions inside
+the virtual subgrid loop; *communication* intrinsics (CSHIFT and friends)
+become CM runtime library calls; *reductions* become runtime calls whose
+results live on the front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nir.ops import BinOp, UnOp
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    name: str
+    category: str          # 'elemental' | 'communication' | 'reduction'
+    min_args: int
+    max_args: int
+    keywords: tuple[str, ...] = ()  # positional order of keyword names
+
+
+# Elemental intrinsics mapping to UNARY operators.
+UNARY_INTRINSICS: dict[str, UnOp] = {
+    "abs": UnOp.ABS,
+    "sqrt": UnOp.SQRT,
+    "sin": UnOp.SIN,
+    "cos": UnOp.COS,
+    "tan": UnOp.TAN,
+    "asin": UnOp.ASIN,
+    "acos": UnOp.ACOS,
+    "atan": UnOp.ATAN,
+    "exp": UnOp.EXP,
+    "log": UnOp.LOG,
+    "log10": UnOp.LOG10,
+    "floor": UnOp.FLOOR,
+    "ceiling": UnOp.CEILING,
+    "int": UnOp.TO_INT,
+    "real": UnOp.TO_FLOAT32,
+    "dble": UnOp.TO_FLOAT64,
+}
+
+# Elemental intrinsics mapping to BINARY operators.
+BINARY_INTRINSICS: dict[str, BinOp] = {
+    "mod": BinOp.MOD,
+    "min": BinOp.MIN,
+    "max": BinOp.MAX,
+}
+
+# merge(tsource, fsource, mask) is elemental but three-argument; it lowers
+# to a masked pair of MOVE clauses.
+SPECIAL_ELEMENTAL = {"merge"}
+
+COMMUNICATION = {
+    "cshift": Intrinsic("cshift", "communication", 2, 3,
+                        ("array", "shift", "dim")),
+    "eoshift": Intrinsic("eoshift", "communication", 2, 4,
+                         ("array", "shift", "boundary", "dim")),
+    "transpose": Intrinsic("transpose", "communication", 1, 1, ("matrix",)),
+    "spread": Intrinsic("spread", "communication", 3, 3,
+                        ("source", "dim", "ncopies")),
+}
+
+REDUCTIONS = {
+    "sum": Intrinsic("sum", "reduction", 1, 2, ("array", "dim")),
+    "product": Intrinsic("product", "reduction", 1, 2, ("array", "dim")),
+    "maxval": Intrinsic("maxval", "reduction", 1, 2, ("array", "dim")),
+    "minval": Intrinsic("minval", "reduction", 1, 2, ("array", "dim")),
+    "count": Intrinsic("count", "reduction", 1, 2, ("mask", "dim")),
+    "any": Intrinsic("any", "reduction", 1, 2, ("mask", "dim")),
+    "all": Intrinsic("all", "reduction", 1, 2, ("mask", "dim")),
+}
+
+INQUIRY = {"size", "shape", "lbound", "ubound"}
+
+
+def is_intrinsic(name: str) -> bool:
+    name = name.lower()
+    return (
+        name in UNARY_INTRINSICS
+        or name in BINARY_INTRINSICS
+        or name in SPECIAL_ELEMENTAL
+        or name in COMMUNICATION
+        or name in REDUCTIONS
+        or name in INQUIRY
+    )
+
+
+def category_of(name: str) -> str:
+    """The compilation category of an intrinsic name."""
+    name = name.lower()
+    if name in UNARY_INTRINSICS or name in BINARY_INTRINSICS \
+            or name in SPECIAL_ELEMENTAL:
+        return "elemental"
+    if name in COMMUNICATION:
+        return "communication"
+    if name in REDUCTIONS:
+        return "reduction"
+    if name in INQUIRY:
+        return "inquiry"
+    raise KeyError(f"not an intrinsic: {name}")
+
+
+def normalize_args(intr: Intrinsic, positional, keyword) -> list:
+    """Arrange positional + keyword actual arguments into signature order.
+
+    Returns a list as long as ``intr.max_args`` with ``None`` for omitted
+    optionals.  Raises ``ValueError`` on arity or keyword errors.
+    """
+    slots: list = [None] * intr.max_args
+    if len(positional) > intr.max_args:
+        raise ValueError(f"{intr.name}: too many arguments")
+    for i, arg in enumerate(positional):
+        slots[i] = arg
+    for kw, arg in keyword.items():
+        kw = kw.lower()
+        if kw not in intr.keywords:
+            raise ValueError(f"{intr.name}: unknown keyword '{kw}'")
+        idx = intr.keywords.index(kw)
+        if slots[idx] is not None:
+            raise ValueError(f"{intr.name}: duplicate argument '{kw}'")
+        slots[idx] = arg
+    required = slots[: intr.min_args]
+    if any(a is None for a in required):
+        raise ValueError(f"{intr.name}: missing required argument")
+    return slots

@@ -1,0 +1,181 @@
+"""A lexer for the Fortran 90 subset accepted by Fortran-90-Y.
+
+Accepts free-form source with a few fixed-form courtesies used by the
+paper's examples: ``C``/``*`` comment lines in column one, numeric
+statement labels, and ``&`` continuations (both trailing and leading).
+Keywords are case-insensitive; the lexer does not distinguish keywords
+from identifiers (the parser does, contextually, as Fortran requires).
+"""
+
+from __future__ import annotations
+
+from .tokens import DOT_LITERALS, DOT_OPERATORS, OPERATORS, TokKind, Token
+
+
+class LexError(Exception):
+    """Raised on malformed source text."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"line {line}, col {col}: {message}")
+        self.line = line
+        self.col = col
+
+
+def _strip_comment(text: str) -> str:
+    """Remove a trailing ``!`` comment, respecting character literals."""
+    in_string: str | None = None
+    for i, ch in enumerate(text):
+        if in_string:
+            if ch == in_string:
+                in_string = None
+        elif ch in "'\"":
+            in_string = ch
+        elif ch == "!":
+            return text[:i]
+    return text
+
+
+def _logical_lines(source: str):
+    """Yield ``(line_number, text)`` logical lines after continuation joining."""
+    pending: str | None = None
+    pending_line = 0
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        # Fixed-form '*' comment lines ('C' comments are ambiguous with
+        # assignments to a variable named C in free form, so only '!' and
+        # column-one '*' comments are recognized).
+        if raw[:1] == "*":
+            continue
+        text = _strip_comment(raw).rstrip()
+        if not text.strip():
+            if pending is None:
+                continue
+            # Blank line inside a continuation is skipped.
+            continue
+        body = text.strip()
+        if pending is not None:
+            if body.startswith("&"):
+                body = body[1:].lstrip()
+            pending = pending + " " + body
+        else:
+            pending = body
+            pending_line = lineno
+        if pending.endswith("&"):
+            pending = pending[:-1].rstrip()
+            continue
+        yield pending_line, pending
+        pending = None
+    if pending is not None:
+        yield pending_line, pending
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize Fortran 90 source into a flat token list.
+
+    Statement boundaries (end of logical line, or ``;``) appear as
+    ``NEWLINE`` tokens; the list always ends with a single ``EOF``.
+    """
+    tokens: list[Token] = []
+    for lineno, text in _logical_lines(source):
+        _lex_line(text, lineno, tokens)
+        tokens.append(Token(TokKind.NEWLINE, "\n", lineno, len(text) + 1))
+    tokens.append(Token(TokKind.EOF, "", -1, 0))
+    return tokens
+
+
+def _lex_line(text: str, lineno: int, out: list[Token]) -> None:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t":
+            i += 1
+            continue
+        col = i + 1
+
+        if ch == ";":
+            out.append(Token(TokKind.NEWLINE, ";", lineno, col))
+            i += 1
+            continue
+
+        if ch in "'\"":
+            j = i + 1
+            while j < n and text[j] != ch:
+                j += 1
+            if j >= n:
+                raise LexError("unterminated character literal", lineno, col)
+            out.append(Token(TokKind.STRING, text[i + 1:j], lineno, col))
+            i = j + 1
+            continue
+
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            i = _lex_number(text, i, lineno, out)
+            continue
+
+        if ch == ".":
+            matched = False
+            for dot, canon in {**DOT_OPERATORS,
+                               **{k: k for k in DOT_LITERALS}}.items():
+                if text[i:i + len(dot)].lower() == dot:
+                    if dot in DOT_LITERALS:
+                        out.append(Token(TokKind.LOGICAL, dot.strip("."),
+                                         lineno, col))
+                    else:
+                        out.append(Token(TokKind.OP, canon, lineno, col))
+                    i += len(dot)
+                    matched = True
+                    break
+            if matched:
+                continue
+            raise LexError(f"unexpected '.'", lineno, col)
+
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            out.append(Token(TokKind.IDENT, text[i:j], lineno, col))
+            i = j
+            continue
+
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                out.append(Token(TokKind.OP, op, lineno, col))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", lineno, col)
+
+
+def _lex_number(text: str, i: int, lineno: int, out: list[Token]) -> int:
+    n = len(text)
+    col = i + 1
+    j = i
+    while j < n and text[j].isdigit():
+        j += 1
+    is_real = False
+    kind = TokKind.REAL
+    # A '.' begins a fraction only if not a dot-operator like 1.eq.2 / 1..2.
+    if j < n and text[j] == ".":
+        rest = text[j:].lower()
+        if not any(rest.startswith(d) for d in
+                   list(DOT_OPERATORS) + list(DOT_LITERALS)):
+            is_real = True
+            j += 1
+            while j < n and text[j].isdigit():
+                j += 1
+    if j < n and text[j] in "eEdD":
+        k = j + 1
+        if k < n and text[k] in "+-":
+            k += 1
+        if k < n and text[k].isdigit():
+            if text[j] in "dD":
+                kind = TokKind.DREAL
+            is_real = True
+            j = k
+            while j < n and text[j].isdigit():
+                j += 1
+    lit = text[i:j]
+    if is_real:
+        out.append(Token(kind, lit, lineno, col))
+    else:
+        out.append(Token(TokKind.INT, lit, lineno, col))
+    return j

@@ -1,0 +1,59 @@
+"""Token definitions for the Fortran 90 front end."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int"
+    REAL = "real"          # single-precision literal (E exponent or plain)
+    DREAL = "dreal"        # double-precision literal (D exponent)
+    STRING = "string"
+    LOGICAL = "logical"    # .true. / .false.
+    OP = "op"              # operators and punctuation
+    NEWLINE = "newline"    # statement separator (end of line or ';')
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        if self.kind is TokKind.NEWLINE:
+            return "<newline>"
+        return self.text
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+# Multi-character operators, longest first so the lexer matches greedily.
+OPERATORS = [
+    "::", "**", "==", "/=", "<=", ">=", "=>", "(", ")", ",", "=", "+",
+    "-", "*", "/", "<", ">", ":", ";", "%",
+]
+
+# Dot-delimited operators (case-insensitive).
+DOT_OPERATORS = {
+    ".eq.": "==",
+    ".ne.": "/=",
+    ".lt.": "<",
+    ".le.": "<=",
+    ".gt.": ">",
+    ".ge.": ">=",
+    ".and.": ".and.",
+    ".or.": ".or.",
+    ".not.": ".not.",
+    ".eqv.": ".eqv.",
+    ".neqv.": ".neqv.",
+}
+
+DOT_LITERALS = {".true.": "true", ".false.": "false"}

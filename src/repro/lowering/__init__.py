@@ -1,0 +1,29 @@
+"""Semantic lowering: Fortran 90 ASTs to typechecked, shapechecked NIR."""
+
+from .analysis import Inference, VInfo
+from .check import CheckError, check_program, shapecheck, typecheck
+from .environment import Environment, LoweringError, Symbol, build_environment
+from .fold import NotConstant
+from .fold import fold as fold_constant
+from .fold import fold_int, try_fold_int
+from .lower import LoweredProgram, Lowerer, lower_program
+
+__all__ = [
+    "Inference",
+    "VInfo",
+    "CheckError",
+    "check_program",
+    "shapecheck",
+    "typecheck",
+    "Environment",
+    "LoweringError",
+    "Symbol",
+    "build_environment",
+    "NotConstant",
+    "fold_constant",
+    "fold_int",
+    "try_fold_int",
+    "LoweredProgram",
+    "Lowerer",
+    "lower_program",
+]

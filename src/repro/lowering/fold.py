@@ -1,0 +1,123 @@
+"""Compile-time constant folding over front-end expressions.
+
+Shapes in NIR are static, so array bounds, section limits, FORALL
+triplets and intrinsic SHIFT/DIM arguments must fold to integers at
+lowering time.  Folding consults the named-constant (PARAMETER)
+environment.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..frontend import ast_nodes as A
+
+
+class NotConstant(Exception):
+    """Raised when an expression cannot be folded at compile time."""
+
+
+def fold_int(expr: A.Expr, params: dict[str, object]) -> int:
+    """Fold to a Python int; raises :class:`NotConstant` otherwise."""
+    val = fold(expr, params)
+    if isinstance(val, bool) or not isinstance(val, (int, float)):
+        raise NotConstant(f"not an integer constant: {expr}")
+    if isinstance(val, float):
+        if not val.is_integer():
+            raise NotConstant(f"not an integer constant: {expr}")
+        val = int(val)
+    return val
+
+
+def try_fold_int(expr: A.Expr, params: dict[str, object]) -> int | None:
+    """Fold to int, or ``None`` when the expression is not constant."""
+    try:
+        return fold_int(expr, params)
+    except NotConstant:
+        return None
+
+
+def fold(expr: A.Expr, params: dict[str, object]):
+    """Evaluate a constant expression to a Python value (int/float/bool)."""
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.RealLit):
+        return expr.value
+    if isinstance(expr, A.LogicalLit):
+        return expr.value
+    if isinstance(expr, A.VarRef):
+        if expr.name in params:
+            return params[expr.name]
+        raise NotConstant(f"'{expr.name}' is not a named constant")
+    if isinstance(expr, A.UnExpr):
+        val = fold(expr.operand, params)
+        if expr.op == "-":
+            return -val
+        if expr.op == ".not.":
+            return not val
+        raise NotConstant(f"cannot fold unary {expr.op}")
+    if isinstance(expr, A.BinExpr):
+        left = fold(expr.left, params)
+        right = fold(expr.right, params)
+        return _apply(expr.op, left, right)
+    if isinstance(expr, A.ArrayRef):
+        return _fold_intrinsic(expr, params)
+    raise NotConstant(f"cannot fold {expr}")
+
+
+def _apply(op: str, left, right):
+    both_int = isinstance(left, int) and isinstance(right, int) \
+        and not isinstance(left, bool) and not isinstance(right, bool)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if both_int:
+            return int(left / right)  # Fortran integer division truncates
+        return left / right
+    if op == "**":
+        return left ** right
+    if op == "==":
+        return left == right
+    if op == "/=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == ".and.":
+        return bool(left) and bool(right)
+    if op == ".or.":
+        return bool(left) or bool(right)
+    if op == ".eqv.":
+        return bool(left) == bool(right)
+    if op == ".neqv.":
+        return bool(left) != bool(right)
+    raise NotConstant(f"cannot fold operator {op}")
+
+
+def _fold_intrinsic(expr: A.ArrayRef, params: dict[str, object]):
+    name = expr.name.lower()
+    args = [fold(a, params) for a in expr.subscripts
+            if not isinstance(a, (A.SectionRange, A.KeywordArg))]
+    if len(args) != len(expr.subscripts):
+        raise NotConstant(f"cannot fold call {name}")
+    if name == "mod" and len(args) == 2:
+        return math.fmod(args[0], args[1]) if any(
+            isinstance(a, float) for a in args) else args[0] % args[1]
+    if name == "min":
+        return min(args)
+    if name == "max":
+        return max(args)
+    if name == "abs" and len(args) == 1:
+        return abs(args[0])
+    if name == "sqrt" and len(args) == 1:
+        return math.sqrt(args[0])
+    raise NotConstant(f"cannot fold call {name}")

@@ -1,0 +1,17 @@
+"""The simulated CM/2: PEs, Weitek datapath, network, geometry, costs."""
+
+from .cm2 import ArrayHome, Machine, MachineError, region_slices
+from .costs import CostModel, InstructionCosts, cm5_model, fieldwise_model, slicewise_model
+from .geometry import Geometry, coordinate_array, make_geometry
+from .pe import (
+    ExecutionError,
+    SubgridStream,
+    VectorExecutor,
+    cycles_per_trip,
+    flops_per_element,
+    routine_cycles,
+)
+from .stats import RunStats
+from .weitek import WeitekTimings, peak_gflops
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,207 @@
+"""The Connection Machine model: storage, node dispatch, accounting.
+
+A :class:`Machine` owns the global array storage (each array laid out
+blockwise by a :class:`~repro.machine.geometry.Geometry`), the cost
+model, and the run statistics.  The host executor drives it: allocating
+arrays, pushing PEAC arguments over the IFIFO, dispatching virtual
+subgrid loops to the (simulated) PEs, and invoking the CM runtime's
+communication primitives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..peac.isa import PReg, Routine, SReg, VECTOR_WIDTH
+from .costs import CostModel, slicewise_model
+from .geometry import Geometry, coordinate_array, make_geometry
+from .pe import (
+    SubgridStream,
+    VectorExecutor,
+    cycles_per_trip,
+    flops_per_element,
+)
+from .stats import RunStats
+
+
+class MachineError(Exception):
+    """Raised on storage or dispatch misuse."""
+
+
+RegionSlices = tuple[slice, ...]
+
+
+def region_slices(axes: tuple[tuple[int, int, int], ...]) -> RegionSlices:
+    """Numpy basic-slicing form of a 1-based strided region."""
+    return tuple(slice(lo - 1, hi, st) for lo, hi, st in axes)
+
+
+@dataclass
+class ArrayHome:
+    """One allocated CM array: global data plus its layout."""
+
+    name: str
+    data: np.ndarray
+    geometry: Geometry
+
+
+class Machine:
+    """A simulated CM/2 (or CM/5, by cost model)."""
+
+    def __init__(self, model: CostModel | None = None) -> None:
+        self.model = model or slicewise_model()
+        self.stats = RunStats()
+        self.arrays: dict[str, ArrayHome] = {}
+        self._coords: dict[tuple[tuple[int, ...], int], np.ndarray] = {}
+
+    # -- storage ---------------------------------------------------------
+
+    def alloc(self, name: str, extents: tuple[int, ...],
+              dtype: np.dtype,
+              layout: tuple[str, ...] | None = None) -> ArrayHome:
+        if name in self.arrays:
+            raise MachineError(f"array '{name}' already allocated")
+        geom = make_geometry(tuple(int(e) for e in extents),
+                             self.model.n_pes, layout)
+        home = ArrayHome(name=name, data=np.zeros(extents, dtype=dtype),
+                         geometry=geom)
+        self.arrays[name] = home
+        self.stats.host_cycles += self.model.host_op
+        return home
+
+    def set_array(self, name: str, values: np.ndarray) -> None:
+        home = self.home(name)
+        if tuple(values.shape) != tuple(home.data.shape):
+            raise MachineError(
+                f"'{name}': shape {values.shape} does not match "
+                f"{home.data.shape}")
+        np.copyto(home.data, values, casting="unsafe")
+
+    def home(self, name: str) -> ArrayHome:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise MachineError(f"array '{name}' is not allocated") from None
+
+    def view(self, name: str,
+             region: tuple[tuple[int, int, int], ...] | None) -> np.ndarray:
+        """A (strided) view of an array's region; the whole array if None."""
+        data = self.home(name).data
+        if region is None:
+            return data
+        return data[region_slices(region)]
+
+    def coord_subgrid(self, extents: tuple[int, ...], axis: int,
+                      region: tuple[tuple[int, int, int], ...] | None,
+                      lo: int = 1, step: int = 1) -> np.ndarray:
+        """The runtime's lazily-materialized coordinate array for an axis."""
+        key = (extents, axis, lo, step)
+        if key not in self._coords:
+            self._coords[key] = coordinate_array(extents, axis, lo, step)
+            # Materialization is one node pass over the shape.
+            geom = make_geometry(extents, self.model.n_pes)
+            self.stats.node_cycles += (
+                math.ceil(geom.vlen / VECTOR_WIDTH) * self.model.instr.move)
+        arr = self._coords[key]
+        if region is None:
+            return arr
+        return arr[region_slices(region)]
+
+    def halo_subgrid(self, name: str, shift: int, dim: int) -> "np.ndarray":
+        """Ghost-augmented shifted view for a halo stream (§5.3.2).
+
+        Performs the physical boundary exchange (charged to the
+        communication meter) and returns the shifted snapshot the node
+        program streams through; interior elements are local reads.
+        """
+        from .network import halo_exchange_cycles
+
+        home = self.home(name)
+        self.charge_comm(halo_exchange_cycles(self.model, home.geometry,
+                                              dim, shift))
+        return np.roll(home.data, -shift, axis=dim - 1)
+
+    # -- node dispatch ----------------------------------------------------
+
+    def call_routine(self, routine: Routine,
+                     bindings: dict[str, object],
+                     region_extents: tuple[int, ...],
+                     real_elements: int | None = None,
+                     layout: tuple[str, ...] | None = None) -> None:
+        """Dispatch one PEAC routine over bound operand streams.
+
+        ``bindings`` maps parameter names to numpy views (``subgrid`` and
+        ``coord`` params) or scalars.  ``region_extents`` sizes the
+        virtual subgrid loop; ``real_elements`` (default: the region
+        size) scales useful-flop accounting when padding is in play.
+        """
+        if layout is not None and len(layout) != len(region_extents):
+            layout = None  # section computes fall back to block layout
+        geom = make_geometry(region_extents, self.model.n_pes, layout)
+        executor = VectorExecutor()
+        pushes = 0
+        for param in routine.params:
+            if param.kind == "vlen":
+                pushes += 1
+                continue
+            try:
+                value = bindings[param.name]
+            except KeyError:
+                raise MachineError(
+                    f"{routine.name}: missing argument '{param.name}'"
+                ) from None
+            if param.kind in ("subgrid", "coord", "halo"):
+                if not isinstance(param.reg, PReg):
+                    raise MachineError(
+                        f"{routine.name}: '{param.name}' needs a pointer reg")
+                executor.bind_pointer(
+                    param.reg, SubgridStream(value, name=param.name))
+            elif param.kind == "scalar":
+                if not isinstance(param.reg, SReg):
+                    raise MachineError(
+                        f"{routine.name}: '{param.name}' needs a scalar reg")
+                executor.bind_scalar(param.reg, value)
+            pushes += 1
+
+        # Spill scratch: per-call PE memory, bound from the top pointer
+        # registers down (not IFIFO arguments).
+        from ..peac.isa import NUM_PREGS  # local import, no cycle
+        import numpy as _np
+        for slot in range(routine.spill_slots):
+            scratch = _np.zeros(math.prod(region_extents))
+            executor.bind_pointer(PReg(NUM_PREGS - 1 - slot),
+                                  SubgridStream(scratch, name=f"spill{slot}"))
+
+        executor.run(routine)
+
+        trips = math.ceil(geom.vlen / VECTOR_WIDTH)
+        node = trips * cycles_per_trip(routine, self.model)
+        elements = (geom.total_elements if real_elements is None
+                    else real_elements)
+        self.stats.node_cycles += node
+        self.stats.call_cycles += (self.model.call_dispatch
+                                   + pushes * self.model.ififo_push)
+        self.stats.node_calls += 1
+        self.stats.ififo_pushes += pushes
+        self.stats.flops += flops_per_element(routine) * elements
+        self.stats.elements_computed += elements
+        self.stats.per_routine[routine.name] = (
+            self.stats.per_routine.get(routine.name, 0) + node)
+
+    # -- accounting helpers -------------------------------------------------
+
+    def charge_comm(self, cycles: int) -> None:
+        self.stats.comm_cycles += cycles
+        self.stats.comm_ops += 1
+
+    def charge_host(self, cycles: int) -> None:
+        self.stats.host_cycles += cycles
+
+    def geometry_of(self, extents: tuple[int, ...]) -> Geometry:
+        return make_geometry(extents, self.model.n_pes)
+
+    def gflops(self) -> float:
+        return self.stats.gflops(self.model.clock_hz)

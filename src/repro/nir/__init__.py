@@ -1,0 +1,108 @@
+"""Native Intermediate Language (NIR): the compiler's semantic algebra.
+
+NIR is the "common source notation for each component of the prototype
+compiler after the initial semantic lowering phase" (section 3).  It
+comprises five semantic domains — types, declarations, values,
+imperatives and shapes — plus the field-restrictor domain bridging
+values and shapes.  Each domain lives in its own module; this package
+re-exports the full operator vocabulary of Figures 5 and 6.
+"""
+
+from .ops import BinOp, UnOp
+from .shapes import (
+    DomainRef,
+    Interval,
+    Point,
+    ProdDom,
+    SerialInterval,
+    Shape,
+    ShapeError,
+    axis_extent,
+    conformable,
+    dims_of,
+    extents,
+    interval_of_extent,
+    is_parallel,
+    is_serial,
+    parallelized,
+    points,
+    rank,
+    resolve,
+    same_domain,
+    serialized,
+    shape_of_extents,
+    size,
+)
+from .types import (
+    FLOAT_32,
+    FLOAT_64,
+    INTEGER_32,
+    LOGICAL_32,
+    DField,
+    NirType,
+    ScalarType,
+    TypeError_,
+    base_element,
+    flop_weight,
+    full_shape,
+    is_field,
+    join_arith,
+)
+from .values import (
+    FALSE,
+    TRUE,
+    AVar,
+    Binary,
+    CopyIn,
+    Everywhere,
+    FcnCall,
+    FieldAction,
+    IndexRange,
+    LocalUnder,
+    RefIn,
+    Scalar,
+    Subscript,
+    SVar,
+    Unary,
+    Value,
+    array_vars,
+    float_const,
+    int_const,
+    is_constant,
+    scalar_vars,
+)
+from .decls import Decl, Declaration, DeclSet, Initialized, bindings, initial_values
+from .imperatives import (
+    CallStmt,
+    Concurrently,
+    CopyOut,
+    Do,
+    IfThenElse,
+    Imperative,
+    Move,
+    MoveClause,
+    Program,
+    RefOut,
+    Sequentially,
+    Skip,
+    While,
+    WithDecl,
+    WithDomain,
+    move1,
+    seq,
+)
+from .interp import InterpError, NirInterpreter, NirResult, run_nir
+from .pretty import pretty
+from .visitor import (
+    collect,
+    count_nodes,
+    node_children,
+    rebuild,
+    rename_domains,
+    substitute_svars,
+    transform_bottom_up,
+    transform_top_down,
+    walk_all,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,77 @@
+"""The NIR declaration domain (Figure 5).
+
+Declarative operators bind identifiers to types and, optionally, initial
+values.  They do not by themselves define scoping; scoping is achieved
+with the imperative bridge operator ``WITH_DECL(d, I)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import types as ty
+from . import values as v
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """Base class for declaration-domain constructors."""
+
+
+@dataclass(frozen=True)
+class Decl(Declaration):
+    """``DECL(id, T)`` — a simple declaration binding ``name`` to ``type``."""
+
+    name: str
+    type: ty.NirType
+
+    def __str__(self) -> str:
+        return f"DECL('{self.name}', {self.type})"
+
+
+@dataclass(frozen=True)
+class DeclSet(Declaration):
+    """``DECLSET(d list)`` — multiple declarations introduced together."""
+
+    decls: tuple[Declaration, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(d) for d in self.decls)
+        return f"DECLSET[{inner}]"
+
+
+@dataclass(frozen=True)
+class Initialized(Declaration):
+    """``INITIALIZED(id, T, V)`` — a declaration plus an initial value."""
+
+    name: str
+    type: ty.NirType
+    value: v.Value
+
+    def __str__(self) -> str:
+        return f"INITIALIZED('{self.name}', {self.type}, {self.value})"
+
+
+def bindings(d: Declaration) -> list[tuple[str, ty.NirType]]:
+    """Flatten a declaration into ``(name, type)`` pairs in source order."""
+    if isinstance(d, Decl):
+        return [(d.name, d.type)]
+    if isinstance(d, Initialized):
+        return [(d.name, d.type)]
+    if isinstance(d, DeclSet):
+        out: list[tuple[str, ty.NirType]] = []
+        for sub in d.decls:
+            out.extend(bindings(sub))
+        return out
+    raise TypeError(f"not a declaration: {d!r}")
+
+
+def initial_values(d: Declaration) -> dict[str, v.Value]:
+    """Map of initialized names to their initializer value trees."""
+    out: dict[str, v.Value] = {}
+    if isinstance(d, Initialized):
+        out[d.name] = d.value
+    elif isinstance(d, DeclSet):
+        for sub in d.decls:
+            out.update(initial_values(sub))
+    return out

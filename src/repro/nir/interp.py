@@ -1,0 +1,234 @@
+"""A direct interpreter for NIR programs (the abstract machine).
+
+"Together, the domains cover all dynamic program behaviors, and
+productions of the algebra are equivalent to programs for this abstract
+machine" (section 3.1).  This module makes that equivalence executable:
+it runs any valid NIR program — lowered or transformed — directly, with
+numpy as the store.  It is the mid-level oracle of the test suite,
+sitting between the AST reference interpreter and the compiled machine
+simulation: all three must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..lowering.environment import Environment
+from ..runtime.nir_eval import NirEvaluator
+from . import decls as d
+from . import imperatives as imp
+from . import shapes as sh
+from . import types as ty
+from . import values as v
+
+
+class InterpError(Exception):
+    """Raised on invalid NIR programs or unsupported constructs."""
+
+
+@dataclass
+class NirResult:
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    scalars: dict[str, object] = field(default_factory=dict)
+    output: list[str] = field(default_factory=list)
+
+
+class _Stop(Exception):
+    pass
+
+
+def run_nir(program: imp.Program, env: Environment,
+            inputs: dict[str, np.ndarray] | None = None) -> NirResult:
+    """Execute an NIR program against the given environment."""
+    interp = NirInterpreter(env)
+    if inputs:
+        for name, values in inputs.items():
+            np.copyto(interp.arrays[name], values, casting="unsafe")
+    interp.run(program)
+    return NirResult(arrays=interp.arrays, scalars=interp.scalars,
+                     output=interp.output)
+
+
+class NirInterpreter:
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.domains: dict[str, sh.Shape] = dict(env.domains)
+        self.arrays: dict[str, np.ndarray] = {}
+        self.scalars: dict[str, object] = {}
+        self.output: list[str] = []
+        self.evaluator = NirEvaluator(
+            read_array=lambda name: self.arrays[name],
+            scalars=self.scalars, domains=self.domains)
+        for sym in env.symbols.values():
+            if sym.is_array:
+                self.arrays[sym.name] = np.zeros(sym.extents,
+                                                 dtype=sym.element.dtype)
+            elif sym.init is not None:
+                self.scalars[sym.name] = sym.init
+
+    # ------------------------------------------------------------------
+
+    def run(self, program: imp.Program) -> None:
+        try:
+            self.exec(program)
+        except _Stop:
+            pass
+
+    def exec(self, node: imp.Imperative) -> None:
+        if isinstance(node, imp.Program):
+            self.exec(node.body)
+        elif isinstance(node, imp.WithDomain):
+            prior = self.domains.get(node.name)
+            self.domains[node.name] = node.shape
+            try:
+                self.exec(node.body)
+            finally:
+                if prior is None:
+                    self.domains.pop(node.name, None)
+                else:
+                    self.domains[node.name] = prior
+        elif isinstance(node, imp.WithDecl):
+            self._bind_decl(node.decl)
+            self.exec(node.body)
+        elif isinstance(node, imp.Sequentially):
+            for action in node.actions:
+                self.exec(action)
+        elif isinstance(node, imp.Concurrently):
+            # CONCURRENTLY composes independent actions; sequential
+            # execution realizes any of its legal interleavings.
+            for action in node.actions:
+                self.exec(action)
+        elif isinstance(node, imp.Move):
+            for clause in node.clauses:
+                self._move(clause)
+        elif isinstance(node, imp.IfThenElse):
+            if bool(self.evaluator.eval_scalar(node.cond)):
+                self.exec(node.then)
+            else:
+                self.exec(node.els)
+        elif isinstance(node, imp.While):
+            while bool(self.evaluator.eval_scalar(node.cond)):
+                self.exec(node.body)
+        elif isinstance(node, imp.Do):
+            self._do(node)
+        elif isinstance(node, imp.CallStmt):
+            self._call(node)
+        elif isinstance(node, (imp.Skip, imp.RefOut, imp.CopyOut)):
+            pass
+        else:
+            raise InterpError(
+                f"cannot interpret {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+
+    def _bind_decl(self, decl: d.Declaration) -> None:
+        for name, nir_type in d.bindings(decl):
+            if isinstance(nir_type, ty.DField):
+                if name not in self.arrays:
+                    shape = ty.full_shape(nir_type, self.domains)
+                    self.arrays[name] = np.zeros(
+                        sh.extents(shape, self.domains),
+                        dtype=ty.base_element(nir_type).dtype)
+        for name, value in d.initial_values(decl).items():
+            self.scalars[name] = self.evaluator.eval_scalar(value)
+
+    def _do(self, node: imp.Do) -> None:
+        shape = sh.resolve(node.shape, self.domains)
+        names = node.index_names
+        saved = {n: self.scalars.get(n) for n in names}
+        try:
+            for point in sh.points(shape):
+                for name, coord in zip(names, point):
+                    self.scalars[name] = coord
+                self.exec(node.body)
+        finally:
+            # DO over a shape leaves the last+1 value in Fortran, but the
+            # shape algebra has no notion of "one past"; expose the last
+            # coordinate visited plus stride for serial intervals.
+            for name, prior in saved.items():
+                if isinstance(shape, sh.SerialInterval):
+                    count = sh.axis_extent(shape)
+                    self.scalars[name] = shape.lo + count * shape.stride
+                elif prior is not None:
+                    self.scalars[name] = prior
+
+    def _move(self, clause: imp.MoveClause) -> None:
+        tgt = clause.tgt
+        if isinstance(tgt, v.SVar):
+            if bool(np.all(self.evaluator.eval_scalar(clause.mask))):
+                self.scalars[tgt.name] = self.evaluator.eval_scalar(
+                    clause.src)
+            return
+        if not isinstance(tgt, v.AVar):
+            raise InterpError(f"invalid MOVE target {tgt}")
+        data = self.arrays[tgt.name]
+        index = self._target_index(data, tgt)
+        current = data[index] if index is not None else data
+        value = self.evaluator.eval(clause.src)
+        mask = self.evaluator.eval(clause.mask)
+        val = np.broadcast_to(np.asarray(value), np.shape(current))
+        if np.ndim(mask) == 0:
+            if not bool(mask):
+                return
+        else:
+            m = np.broadcast_to(np.asarray(mask, bool), np.shape(current))
+            val = np.where(m, val, current)
+        if index is None:
+            np.copyto(data, val, casting="unsafe")
+        else:
+            # Indexed assignment covers both strided views and scatter
+            # through coordinate (fancy) indices.
+            data[index] = np.asarray(val).astype(data.dtype, copy=False) \
+                if val.dtype != data.dtype else val
+
+    def _target_index(self, data: np.ndarray, tgt: v.AVar):
+        """Index tuple of a target, or None for a whole-array store."""
+        if isinstance(tgt.field, v.Everywhere):
+            return None
+        if isinstance(tgt.field, v.Subscript):
+            indices = []
+            has_gather = False
+            has_slice = False
+            for axis, idx in enumerate(tgt.field.indices):
+                n = data.shape[axis]
+                if isinstance(idx, v.IndexRange):
+                    lo = self._idx(idx.lo, 1)
+                    hi = self._idx(idx.hi, n)
+                    st = self._idx(idx.stride, 1)
+                    indices.append(slice(lo - 1, hi, st))
+                    has_slice = True
+                else:
+                    out = self.evaluator.eval(idx)
+                    if isinstance(out, np.ndarray) and out.ndim > 0:
+                        has_gather = True
+                        indices.append(np.asarray(out, np.int64) - 1)
+                    else:
+                        indices.append(int(out) - 1)
+            if has_gather and has_slice:
+                raise InterpError(
+                    "scatter targets cannot mix ranges and coordinates")
+            return tuple(indices)
+        raise InterpError(f"cannot store through {tgt.field}")
+
+    def _idx(self, value, default: int) -> int:
+        if value is None:
+            return default
+        return int(self.evaluator.eval_scalar(value))
+
+    def _call(self, node: imp.CallStmt) -> None:
+        if node.name == "print":
+            parts = []
+            for arg in node.args:
+                out = self.evaluator.eval(arg)
+                if isinstance(out, np.ndarray) and out.ndim > 0:
+                    parts.append(str(out))
+                else:
+                    parts.append(str(out if not isinstance(out, np.generic)
+                                     else out.item()))
+            self.output.append(" ".join(parts))
+            return
+        if node.name == "stop":
+            raise _Stop()
+        raise InterpError(f"unknown runtime call '{node.name}'")

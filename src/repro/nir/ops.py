@@ -1,0 +1,104 @@
+"""Operator vocabularies for the NIR value domain.
+
+The paper's value domain builds computations with ``BINARY(binop, V, V)``
+and ``UNARY(monop, V)`` (Figure 5).  This module enumerates the ``binop``
+and ``monop`` vocabularies used by the Fortran-90-Y prototype: Fortran's
+arithmetic, relational and logical operators plus the elemental intrinsic
+functions that compile to single node instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BinOp(enum.Enum):
+    """Binary operator vocabulary for ``BINARY`` value nodes."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    POW = "**"
+    MOD = "mod"
+    MIN = "min"
+    MAX = "max"
+    EQ = "=="
+    NE = "/="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = ".and."
+    OR = ".or."
+    EQV = ".eqv."
+    NEQV = ".neqv."
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self in _ARITHMETIC
+
+    @property
+    def is_relational(self) -> bool:
+        return self in _RELATIONAL
+
+    @property
+    def is_logical(self) -> bool:
+        return self in _LOGICAL
+
+    @property
+    def is_commutative(self) -> bool:
+        return self in _COMMUTATIVE
+
+
+_ARITHMETIC = frozenset(
+    {BinOp.ADD, BinOp.SUB, BinOp.MUL, BinOp.DIV, BinOp.POW, BinOp.MOD,
+     BinOp.MIN, BinOp.MAX}
+)
+_RELATIONAL = frozenset(
+    {BinOp.EQ, BinOp.NE, BinOp.LT, BinOp.LE, BinOp.GT, BinOp.GE}
+)
+_LOGICAL = frozenset({BinOp.AND, BinOp.OR, BinOp.EQV, BinOp.NEQV})
+_COMMUTATIVE = frozenset(
+    {BinOp.ADD, BinOp.MUL, BinOp.MIN, BinOp.MAX, BinOp.EQ, BinOp.NE,
+     BinOp.AND, BinOp.OR, BinOp.EQV, BinOp.NEQV}
+)
+
+
+class UnOp(enum.Enum):
+    """Unary operator vocabulary for ``UNARY`` value nodes."""
+
+    NEG = "-"
+    NOT = ".not."
+    ABS = "abs"
+    SQRT = "sqrt"
+    SIN = "sin"
+    COS = "cos"
+    TAN = "tan"
+    ASIN = "asin"
+    ACOS = "acos"
+    ATAN = "atan"
+    EXP = "exp"
+    LOG = "log"
+    LOG10 = "log10"
+    FLOOR = "floor"
+    CEILING = "ceiling"
+    # Type conversions (Fortran REAL()/INT()/DBLE() intrinsics).
+    TO_INT = "int"
+    TO_FLOAT32 = "real"
+    TO_FLOAT64 = "dble"
+
+    @property
+    def is_transcendental(self) -> bool:
+        return self in _TRANSCENDENTAL
+
+    @property
+    def is_conversion(self) -> bool:
+        return self in _CONVERSION
+
+
+_TRANSCENDENTAL = frozenset(
+    {UnOp.SIN, UnOp.COS, UnOp.TAN, UnOp.ASIN, UnOp.ACOS, UnOp.ATAN,
+     UnOp.EXP, UnOp.LOG, UnOp.LOG10, UnOp.SQRT}
+)
+_CONVERSION = frozenset({UnOp.TO_INT, UnOp.TO_FLOAT32, UnOp.TO_FLOAT64})

@@ -1,0 +1,83 @@
+"""Pretty-printer producing the paper's S-expression-like NIR concrete syntax.
+
+The output format follows Figures 7-10: nested constructors with
+identifiers quoted, MOVEs printed one clause per line, and WITH_DOMAIN /
+WITH_DECL scopes indented.  The printer is purely presentational; tests
+assert on structural properties of the output rather than byte equality.
+"""
+
+from __future__ import annotations
+
+from . import decls as d
+from . import imperatives as imp
+from . import shapes as sh
+from . import types as ty
+from . import values as v
+
+_INDENT = "  "
+
+
+def pretty(node: object, indent: int = 0) -> str:
+    """Render any NIR node (any semantic domain) as indented text."""
+    pad = _INDENT * indent
+    if isinstance(node, imp.Imperative):
+        return _imp(node, indent)
+    if isinstance(node, imp.MoveClause):
+        return pad + _clause(node)
+    if isinstance(node, (v.Value, v.FieldAction)):
+        return pad + _val(node)
+    if isinstance(node, d.Declaration):
+        return pad + str(node)
+    if isinstance(node, (sh.Shape, ty.NirType)):
+        return pad + str(node)
+    raise TypeError(f"not an NIR node: {node!r}")
+
+
+def _val(node: v.Value | v.FieldAction) -> str:
+    return str(node)
+
+
+def _clause(c: imp.MoveClause) -> str:
+    mask = "True" if c.is_unconditional else str(c.mask)
+    return f"({mask}, ({c.src}, {c.tgt}))"
+
+
+def _imp(node: imp.Imperative, indent: int) -> str:
+    pad = _INDENT * indent
+
+    if isinstance(node, imp.Program):
+        return pad + "PROGRAM(\n" + _imp(node.body, indent + 1) + ")"
+
+    if isinstance(node, imp.WithDomain):
+        head = f"{pad}WITH_DOMAIN(('{node.name}', {node.shape}),\n"
+        return head + _imp(node.body, indent + 1) + ")"
+
+    if isinstance(node, imp.WithDecl):
+        head = f"{pad}WITH_DECL({node.decl},\n"
+        return head + _imp(node.body, indent + 1) + ")"
+
+    if isinstance(node, imp.Sequentially):
+        inner = ",\n".join(_imp(a, indent + 1) for a in node.actions)
+        return f"{pad}SEQUENTIALLY\n{pad}[\n{inner}\n{pad}]"
+
+    if isinstance(node, imp.Concurrently):
+        inner = ",\n".join(_imp(a, indent + 1) for a in node.actions)
+        return f"{pad}CONCURRENTLY\n{pad}[\n{inner}\n{pad}]"
+
+    if isinstance(node, imp.Move):
+        body = (",\n" + pad + "      ").join(_clause(c) for c in node.clauses)
+        return f"{pad}MOVE[{body}]"
+
+    if isinstance(node, imp.Do):
+        head = f"{pad}DO({node.shape},\n"
+        return head + _imp(node.body, indent + 1) + ")"
+
+    if isinstance(node, imp.IfThenElse):
+        return (f"{pad}IFTHENELSE({node.cond},\n"
+                + _imp(node.then, indent + 1) + ",\n"
+                + _imp(node.els, indent + 1) + ")")
+
+    if isinstance(node, imp.While):
+        return f"{pad}WHILE({node.cond},\n" + _imp(node.body, indent + 1) + ")"
+
+    return pad + str(node)

@@ -1,0 +1,142 @@
+"""The NIR type domain (Figure 5), extended with ``dfield`` (Figure 6).
+
+The core types model the "machine-level" types of the semantic algebra:
+32-bit integers and logicals and single/double precision floats.  The
+shape facet adds the bridging type operator ``dfield : S * T -> T``, a
+field of elements of a given type laid out over a shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import shapes as sh
+
+
+class TypeError_(Exception):
+    """Raised by the static typechecker (named to avoid builtins clash)."""
+
+
+@dataclass(frozen=True)
+class NirType:
+    """Base class for all NIR type-domain constructors."""
+
+
+@dataclass(frozen=True)
+class ScalarType(NirType):
+    """One of the four core machine-level scalar types."""
+
+    kind: str  # 'integer_32' | 'logical_32' | 'float_32' | 'float_64'
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise TypeError_(f"unknown scalar type kind: {self.kind!r}")
+
+    def __str__(self) -> str:
+        return self.kind
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The numpy dtype this scalar type simulates with."""
+        return _KINDS[self.kind]
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind in ("float_32", "float_64")
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind == "integer_32"
+
+    @property
+    def is_logical(self) -> bool:
+        return self.kind == "logical_32"
+
+    @property
+    def bits(self) -> int:
+        return 64 if self.kind == "float_64" else 32
+
+
+_KINDS = {
+    "integer_32": np.dtype(np.int32),
+    "logical_32": np.dtype(np.int32),  # CM logicals are 32-bit words
+    "float_32": np.dtype(np.float32),
+    "float_64": np.dtype(np.float64),
+}
+
+INTEGER_32 = ScalarType("integer_32")
+LOGICAL_32 = ScalarType("logical_32")
+FLOAT_32 = ScalarType("float_32")
+FLOAT_64 = ScalarType("float_64")
+
+
+@dataclass(frozen=True)
+class DField(NirType):
+    """``dfield : S * T -> T`` — a field of ``element`` values over ``shape``.
+
+    ``element`` may itself be a ``DField``, which is one interpretation of
+    the shape cross-product (the paper, section 3.2).
+    """
+
+    shape: sh.Shape
+    element: NirType
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shape, sh.Shape):
+            raise TypeError_("dfield shape must be a Shape")
+        if not isinstance(self.element, NirType):
+            raise TypeError_("dfield element must be a NirType")
+
+    def __str__(self) -> str:
+        return f"dfield({{shape={self.shape},element={self.element}}})"
+
+
+def base_element(ty: NirType) -> ScalarType:
+    """The innermost scalar element type of a possibly-nested dfield."""
+    while isinstance(ty, DField):
+        ty = ty.element
+    if not isinstance(ty, ScalarType):
+        raise TypeError_(f"no scalar element in {ty}")
+    return ty
+
+
+def full_shape(ty: NirType, env: sh.DomainEnv | None = None) -> sh.Shape | None:
+    """The combined shape of a possibly-nested dfield, ``None`` for scalars.
+
+    Nested dfields flatten by shape cross-product, mirroring the paper's
+    reading of ``dfield(S, dfield(S', T))``.
+    """
+    dims: list[sh.Shape] = []
+    while isinstance(ty, DField):
+        dims.extend(sh.dims_of(ty.shape, env))
+        ty = ty.element
+    if not dims:
+        return None
+    if len(dims) == 1:
+        return dims[0]
+    return sh.ProdDom(tuple(dims))
+
+
+def is_field(ty: NirType) -> bool:
+    return isinstance(ty, DField)
+
+
+def join_arith(a: ScalarType, b: ScalarType) -> ScalarType:
+    """Usual arithmetic conversions for mixed-type binary operations."""
+    order = {"logical_32": 0, "integer_32": 1, "float_32": 2, "float_64": 3}
+    pick = a if order[a.kind] >= order[b.kind] else b
+    if pick.is_logical:
+        # logical op logical stays logical; arithmetic promotes to integer
+        return pick
+    return pick
+
+
+def flop_weight(ty: ScalarType) -> int:
+    """Floating-point operations counted per elemental arithmetic op.
+
+    Integer and logical operations count zero flops; both float widths
+    count one (the CM community counted 64-bit flops for SWE).
+    """
+    return 1 if ty.is_float else 0

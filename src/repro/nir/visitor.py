@@ -1,0 +1,133 @@
+"""Generic traversal and rewriting over NIR trees.
+
+NIR nodes are frozen dataclasses, so rewriting is done by rebuilding.
+These helpers implement the paper's notion of transformations that
+"propagate through the program by way of NIR's bridging operators, where
+domains meet": a single rewriter visits imperative, value, declaration
+and shape nodes uniformly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from . import decls as d
+from . import imperatives as imp
+from . import shapes as sh
+from . import types as ty
+from . import values as v
+
+NirNode = object  # any node of any domain
+
+
+def _is_node(x: object) -> bool:
+    return isinstance(
+        x,
+        (imp.Imperative, imp.MoveClause, v.Value, v.FieldAction,
+         d.Declaration, sh.Shape, ty.NirType),
+    )
+
+
+def node_children(node: NirNode) -> list[NirNode]:
+    """All NIR-node children of a node, across every semantic domain."""
+    out: list[NirNode] = []
+    for f in dataclasses.fields(node):
+        val = getattr(node, f.name)
+        if _is_node(val):
+            out.append(val)
+        elif isinstance(val, tuple):
+            out.extend(x for x in val if _is_node(x))
+    return out
+
+
+def walk_all(node: NirNode):
+    """Pre-order traversal across all semantic domains."""
+    yield node
+    for c in node_children(node):
+        yield from walk_all(c)
+
+
+def rebuild(node: NirNode, mapper: Callable[[NirNode], NirNode]) -> NirNode:
+    """Rebuild ``node`` with each NIR-node field replaced by ``mapper(field)``.
+
+    Non-node fields (names, ints, enums) are preserved.  Tuples of nodes
+    are mapped elementwise.  Returns the original object when nothing
+    changed, so rewrites share unmodified subtrees.
+    """
+    changes = {}
+    for f in dataclasses.fields(node):
+        val = getattr(node, f.name)
+        if _is_node(val):
+            new = mapper(val)
+            if new is not val:
+                changes[f.name] = new
+        elif isinstance(val, tuple) and any(_is_node(x) for x in val):
+            new_tuple = tuple(mapper(x) if _is_node(x) else x for x in val)
+            if any(a is not b for a, b in zip(new_tuple, val)):
+                changes[f.name] = new_tuple
+    if not changes:
+        return node
+    return dataclasses.replace(node, **changes)
+
+
+def transform_bottom_up(
+    node: NirNode, fn: Callable[[NirNode], NirNode]
+) -> NirNode:
+    """Apply ``fn`` to every node, children first.
+
+    ``fn`` receives each (already-rebuilt) node and returns a replacement
+    or the node itself.
+    """
+
+    def rec(n: NirNode) -> NirNode:
+        rebuilt = rebuild(n, rec)
+        return fn(rebuilt)
+
+    return rec(node)
+
+
+def transform_top_down(
+    node: NirNode, fn: Callable[[NirNode], NirNode]
+) -> NirNode:
+    """Apply ``fn`` to every node, parents first."""
+
+    def rec(n: NirNode) -> NirNode:
+        replaced = fn(n)
+        return rebuild(replaced, rec)
+
+    return rec(node)
+
+
+def substitute_svars(node: NirNode, bindings: dict[str, v.Value]) -> NirNode:
+    """Replace scalar variable references by values throughout a tree."""
+
+    def fn(n: NirNode) -> NirNode:
+        if isinstance(n, v.SVar) and n.name in bindings:
+            return bindings[n.name]
+        return n
+
+    return transform_bottom_up(node, fn)
+
+
+def rename_domains(node: NirNode, renames: dict[str, str]) -> NirNode:
+    """Consistently rename domain bindings and references."""
+
+    def fn(n: NirNode) -> NirNode:
+        if isinstance(n, sh.DomainRef) and n.name in renames:
+            return sh.DomainRef(renames[n.name])
+        if isinstance(n, imp.WithDomain) and n.name in renames:
+            return dataclasses.replace(n, name=renames[n.name])
+        return n
+
+    return transform_bottom_up(node, fn)
+
+
+def count_nodes(node: NirNode, kind: type | tuple[type, ...]) -> int:
+    """Number of nodes of the given class(es) in the tree."""
+    return sum(1 for n in walk_all(node) if isinstance(n, kind))
+
+
+def collect(node: NirNode, kind: type | tuple[type, ...]) -> list[NirNode]:
+    """All nodes of the given class(es), in pre-order."""
+    return [n for n in walk_all(node) if isinstance(n, kind)]

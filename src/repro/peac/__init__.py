@@ -1,0 +1,25 @@
+"""PEAC (Processing Element Assembly Code): ISA, assembler, routines."""
+
+from .assembler import format_instr, format_routine, parse_instr, parse_routine
+from .isa import (
+    NUM_CREGS,
+    NUM_PREGS,
+    NUM_SREGS,
+    NUM_VREGS,
+    OPCODES,
+    VECTOR_WIDTH,
+    CReg,
+    Imm,
+    Instr,
+    LabelRef,
+    Mem,
+    Operand,
+    ParamSpec,
+    PeacError,
+    PReg,
+    Routine,
+    SReg,
+    VReg,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,34 @@
+"""Benchmark workloads written in the supported Fortran 90 subset."""
+
+from .kernels import (
+    ALL_KERNELS,
+    blocking_source,
+    cg_source,
+    deck_source,
+    matmul_source,
+    redblack_source,
+    forall_source,
+    heat_source,
+    life_source,
+    reduction_source,
+    saxpy_source,
+    where_source,
+)
+from .swe import FLOPS_PER_POINT_PER_STEP, swe_source
+
+__all__ = [
+    "ALL_KERNELS",
+    "blocking_source",
+    "cg_source",
+    "deck_source",
+    "matmul_source",
+    "redblack_source",
+    "forall_source",
+    "heat_source",
+    "life_source",
+    "reduction_source",
+    "saxpy_source",
+    "where_source",
+    "FLOPS_PER_POINT_PER_STEP",
+    "swe_source",
+]

@@ -1,0 +1,108 @@
+"""The SWE benchmark: shallow-water equations in data-parallel Fortran 90.
+
+"The initial benchmark was an updated Fortran-90 version of a dusty deck
+code to implement a meteorological model, the 'shallow-water equations,'
+or SWE.  It has good locality, consisting of a series of circular shifts
+interspersed with blocks of local computation, and so represents an
+ideal problem for a SIMD, data-parallel machine like the CM/2"
+(section 6).
+
+This is the classic Sadourny (1975) finite-difference scheme on a
+doubly-periodic C-grid — the SWM77 "swm" benchmark — rewritten with
+whole-array expressions and CSHIFT, exactly the modernization the paper
+describes.  :func:`swe_source` renders it for any grid size and cycle
+count.
+"""
+
+from __future__ import annotations
+
+_TEMPLATE = """
+program swe
+integer, parameter :: n = {n}
+integer, parameter :: itmax = {itmax}
+double precision, array(n,n) :: u, v, p, unew, vnew, pnew
+double precision, array(n,n) :: uold, vold, pold, cu, cv, z, h, psi
+double precision dt, tdt, dx, dy, a, alpha, el, pi, tpi, di, dj, pcf
+double precision fsdx, fsdy, tdts8, tdtsdx, tdtsdy
+integer ncycle
+
+dt = 90.0d0
+tdt = dt
+dx = 100000.0d0
+dy = 100000.0d0
+a = 1000000.0d0
+alpha = 0.001d0
+el = n * dx
+pi = 3.14159265358979d0
+tpi = pi + pi
+di = tpi / n
+dj = tpi / n
+pcf = pi * pi * a * a / (el * el)
+fsdx = 4.0d0 / dx
+fsdy = 4.0d0 / dy
+
+! Initial conditions: a doubly-periodic velocity streamfunction.
+forall (i=1:n, j=1:n) psi(i,j) = a * sin((i - 0.5d0) * di) * sin((j - 0.5d0) * dj)
+forall (i=1:n, j=1:n) p(i,j) = pcf * (cos(2.0d0 * (i - 1) * di) + cos(2.0d0 * (j - 1) * dj)) + 50000.0d0
+u = -(cshift(psi, shift=1, dim=2) - psi) / dy
+v = (cshift(psi, shift=1, dim=1) - psi) / dx
+
+uold = u
+vold = v
+pold = p
+
+do ncycle = 1, itmax
+   ! Compute capital u, capital v, z and h.
+   cu = 0.5d0 * (p + cshift(p, shift=-1, dim=1)) * u
+   cv = 0.5d0 * (p + cshift(p, shift=-1, dim=2)) * v
+   z = (fsdx * (v - cshift(v, shift=-1, dim=1)) - fsdy * (u - cshift(u, shift=-1, dim=2))) &
+       / (cshift(cshift(p, shift=-1, dim=1), shift=-1, dim=2) + cshift(p, shift=-1, dim=2) + p + cshift(p, shift=-1, dim=1))
+   h = p + 0.25d0 * (cshift(u, shift=1, dim=1) * cshift(u, shift=1, dim=1) + u * u &
+       + cshift(v, shift=1, dim=2) * cshift(v, shift=1, dim=2) + v * v)
+
+   tdts8 = tdt / 8.0d0
+   tdtsdx = tdt / dx
+   tdtsdy = tdt / dy
+
+   ! Time tendencies.
+   unew = uold + tdts8 * (cshift(z, shift=1, dim=2) + z) &
+          * (cshift(cv, shift=1, dim=2) + cshift(cshift(cv, shift=-1, dim=1), shift=1, dim=2) &
+             + cshift(cv, shift=-1, dim=1) + cv) &
+          - tdtsdx * (h - cshift(h, shift=-1, dim=1))
+   vnew = vold - tdts8 * (cshift(z, shift=1, dim=1) + z) &
+          * (cshift(cu, shift=1, dim=1) + cshift(cshift(cu, shift=-1, dim=2), shift=1, dim=1) &
+             + cshift(cu, shift=-1, dim=2) + cu) &
+          - tdtsdy * (h - cshift(h, shift=-1, dim=2))
+   pnew = pold - tdtsdx * (cshift(cu, shift=1, dim=1) - cu) - tdtsdy * (cshift(cv, shift=1, dim=2) - cv)
+
+   if (ncycle > 1) then
+      ! Robert-Asselin time smoothing.
+      uold = u + alpha * (unew - 2.0d0 * u + uold)
+      vold = v + alpha * (vnew - 2.0d0 * v + vold)
+      pold = p + alpha * (pnew - 2.0d0 * p + pold)
+   else
+      tdt = tdt + tdt
+      uold = u
+      vold = v
+      pold = p
+   end if
+   u = unew
+   v = vnew
+   p = pnew
+end do
+end program swe
+"""
+
+
+def swe_source(n: int = 64, itmax: int = 1) -> str:
+    """The SWE benchmark source for an ``n``x``n`` grid, ``itmax`` steps."""
+    if n < 4:
+        raise ValueError("SWE needs at least a 4x4 grid")
+    if itmax < 1:
+        raise ValueError("itmax must be positive")
+    return _TEMPLATE.format(n=n, itmax=itmax)
+
+
+# Rough algorithmic flop count per grid point per time step (the SWE
+# community convention), for cross-checking the simulator's counter.
+FLOPS_PER_POINT_PER_STEP = 65

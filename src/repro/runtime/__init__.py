@@ -1,0 +1,26 @@
+"""CM runtime system and front-end (host) program executor."""
+
+from .cmrt import RuntimeError_, execute_comm, execute_reduce
+from .host import (
+    Alloc,
+    ArgBinding,
+    CommMove,
+    ElementMove,
+    HostExecutor,
+    HostOp,
+    HostProgram,
+    IfOp,
+    Loop,
+    NodeCall,
+    Print,
+    ReduceMove,
+    ScalarInit,
+    ScalarMove,
+    Stop,
+    WhileOp,
+    format_host_program,
+)
+from .nir_eval import EvalError, NirEvaluator, apply_binop, apply_unop
+from .sparc import SparcRenderer, render_sparc
+
+__all__ = [name for name in dir() if not name.startswith("_")]

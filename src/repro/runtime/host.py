@@ -1,0 +1,335 @@
+"""Host (front-end) program representation and executor.
+
+The FE/NIR compiler "translates the NIR remainder program into SPARC
+assembly code plus runtime system library calls" (section 5.2).  The
+reproduction's host program is a small IR of front-end operations —
+allocation, scalar work, control flow, CM runtime calls, and PEAC
+dispatches with their IFIFO argument pushes — interpreted against a
+:class:`~repro.machine.cm2.Machine`.  A textual disassembly is available
+via :func:`format_host_program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nir
+from ..peac.isa import Routine
+from . import cmrt
+from .nir_eval import NirEvaluator
+
+Region = tuple[tuple[int, int, int], ...]
+
+
+@dataclass(frozen=True)
+class HostOp:
+    """Base class for host-program operations."""
+
+
+@dataclass(frozen=True)
+class Alloc(HostOp):
+    name: str
+    extents: tuple[int, ...]
+    dtype: str  # numpy dtype name
+    layout: tuple[str, ...] | None = None  # !layout: directive modes
+
+
+@dataclass(frozen=True)
+class ScalarInit(HostOp):
+    name: str
+    value: object
+
+
+@dataclass(frozen=True)
+class ArgBinding:
+    """One actual argument of a node call (matches a ParamSpec)."""
+
+    kind: str                       # 'subgrid' | 'coord' | 'scalar'
+    name: str                       # parameter name
+    array: str | None = None        # subgrid: array name
+    region: Region | None = None    # subgrid/coord: region, None = full
+    extents: tuple[int, ...] = ()   # coord: base extents
+    axis: int = 0                   # coord: axis
+    lo: int = 1                     # coord: first point along the axis
+    step: int = 1                   # coord: axis stride
+    shift: int = 0                  # halo: circular shift amount
+    value: nir.Value | None = None  # scalar: host-evaluated NIR value
+
+
+@dataclass(frozen=True)
+class NodeCall(HostOp):
+    """Dispatch a PEAC routine: push args over the IFIFO, start the loop."""
+
+    routine: Routine
+    args: tuple[ArgBinding, ...]
+    region_extents: tuple[int, ...]
+    real_elements: int
+    layout: tuple[str, ...] | None = None  # target array's !layout: modes
+
+
+@dataclass(frozen=True)
+class CommMove(HostOp):
+    """A communication phase: one MOVE executed by the CM runtime."""
+
+    clause: nir.MoveClause
+    kind: str  # 'cshift'|'eoshift'|'transpose'|'spread'|'copy'|'gather'
+
+
+@dataclass(frozen=True)
+class ReduceMove(HostOp):
+    """A reduction phase: runtime combine tree into a front-end scalar."""
+
+    clause: nir.MoveClause
+
+
+@dataclass(frozen=True)
+class ScalarMove(HostOp):
+    """Front-end scalar assignment."""
+
+    clause: nir.MoveClause
+
+
+@dataclass(frozen=True)
+class ElementMove(HostOp):
+    """Serial element-at-a-time array access executed by the front end."""
+
+    clause: nir.MoveClause
+
+
+@dataclass(frozen=True)
+class Loop(HostOp):
+    var: str
+    lo: int
+    hi: int
+    step: int
+    body: tuple[HostOp, ...]
+
+
+@dataclass(frozen=True)
+class WhileOp(HostOp):
+    cond: nir.Value
+    body: tuple[HostOp, ...]
+
+
+@dataclass(frozen=True)
+class IfOp(HostOp):
+    cond: nir.Value
+    then: tuple[HostOp, ...]
+    els: tuple[HostOp, ...] = ()
+
+
+@dataclass(frozen=True)
+class Print(HostOp):
+    values: tuple[nir.Value, ...]
+
+
+@dataclass(frozen=True)
+class Stop(HostOp):
+    pass
+
+
+@dataclass
+class HostProgram:
+    """The complete front-end program plus its node routines."""
+
+    name: str
+    ops: tuple[HostOp, ...]
+    routines: dict[str, Routine] = field(default_factory=dict)
+
+
+class StopExecution(Exception):
+    """Internal signal for the STOP statement."""
+
+
+class HostExecutor:
+    """Interprets a host program against a simulated machine."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.scalars: dict[str, object] = {}
+        self.output: list[str] = []
+        self.evaluator = NirEvaluator(
+            read_array=lambda name: self.machine.home(name).data,
+            scalars=self.scalars)
+
+    # ------------------------------------------------------------------
+
+    def run(self, program: HostProgram) -> None:
+        try:
+            self._run_ops(program.ops)
+        except StopExecution:
+            pass
+
+    def _run_ops(self, ops) -> None:
+        for op in ops:
+            self._run_op(op)
+
+    # ------------------------------------------------------------------
+
+    def _run_op(self, op: HostOp) -> None:
+        m = self.machine
+        if isinstance(op, Alloc):
+            # Pre-allocated inputs (Executable.run's overrides) survive.
+            if op.name not in m.arrays:
+                m.alloc(op.name, op.extents, np.dtype(op.dtype),
+                        layout=op.layout)
+        elif isinstance(op, ScalarInit):
+            self.scalars[op.name] = op.value
+            m.charge_host(m.model.host_op)
+        elif isinstance(op, NodeCall):
+            self._node_call(op)
+        elif isinstance(op, CommMove):
+            cmrt.execute_comm(m, self.evaluator, op.clause, op.kind)
+        elif isinstance(op, ReduceMove):
+            cmrt.execute_reduce(m, self.evaluator, op.clause, self.scalars)
+        elif isinstance(op, ScalarMove):
+            value = self.evaluator.eval_scalar(op.clause.src)
+            assert isinstance(op.clause.tgt, nir.SVar)
+            self.scalars[op.clause.tgt.name] = value
+            m.charge_host(m.model.host_op)
+        elif isinstance(op, ElementMove):
+            self._element_move(op.clause)
+        elif isinstance(op, Loop):
+            m.charge_host(m.model.host_op)
+            for i in range(op.lo, op.hi + (1 if op.step > 0 else -1),
+                           op.step):
+                self.scalars[op.var] = i
+                m.charge_host(m.model.host_op)
+                self._run_ops(op.body)
+        elif isinstance(op, WhileOp):
+            while bool(self.evaluator.eval_scalar(op.cond)):
+                m.charge_host(m.model.host_op)
+                self._run_ops(op.body)
+            m.charge_host(m.model.host_op)
+        elif isinstance(op, IfOp):
+            m.charge_host(m.model.host_op)
+            if bool(self.evaluator.eval_scalar(op.cond)):
+                self._run_ops(op.then)
+            else:
+                self._run_ops(op.els)
+        elif isinstance(op, Print):
+            items = [self.evaluator.eval_scalar(v) if not self._is_field(v)
+                     else str(self.evaluator.eval(v)) for v in op.values]
+            self.output.append(" ".join(str(x) for x in items))
+            m.charge_host(m.model.host_op)
+        elif isinstance(op, Stop):
+            raise StopExecution()
+        else:
+            raise TypeError(f"unknown host op {type(op).__name__}")
+
+    @staticmethod
+    def _is_field(value: nir.Value) -> bool:
+        return any(isinstance(n, (nir.AVar, nir.LocalUnder))
+                   for n in nir.values.walk(value))
+
+    # ------------------------------------------------------------------
+
+    def _node_call(self, op: NodeCall) -> None:
+        bindings: dict[str, object] = {}
+        for arg in op.args:
+            if arg.kind == "subgrid":
+                bindings[arg.name] = self.machine.view(arg.array, arg.region)
+            elif arg.kind == "coord":
+                bindings[arg.name] = self.machine.coord_subgrid(
+                    arg.extents, arg.axis, arg.region, arg.lo, arg.step)
+            elif arg.kind == "halo":
+                bindings[arg.name] = self.machine.halo_subgrid(
+                    arg.array, arg.shift, arg.axis)
+            elif arg.kind == "scalar":
+                bindings[arg.name] = self.evaluator.eval_scalar(arg.value)
+            else:
+                raise TypeError(f"unknown arg kind {arg.kind}")
+        self.machine.call_routine(op.routine, bindings, op.region_extents,
+                                  op.real_elements, layout=op.layout)
+
+    def _element_move(self, clause: nir.MoveClause) -> None:
+        """Serial front-end array access: single elements or sections.
+
+        The front end pays :attr:`host_element_op` cycles per element
+        touched — this is the "serial code" the compilation model pushes
+        programmers away from.
+        """
+        m = self.machine
+        tgt = clause.tgt
+        assert isinstance(tgt, nir.AVar) and isinstance(tgt.field,
+                                                        nir.Subscript)
+        data = m.home(tgt.name).data
+        index: list = []
+        for axis, sub in enumerate(tgt.field.indices):
+            if isinstance(sub, nir.IndexRange):
+                n = data.shape[axis]
+                lo = (int(self.evaluator.eval_scalar(sub.lo))
+                      if sub.lo is not None else 1)
+                hi = (int(self.evaluator.eval_scalar(sub.hi))
+                      if sub.hi is not None else n)
+                st = (int(self.evaluator.eval_scalar(sub.stride))
+                      if sub.stride is not None else 1)
+                index.append(slice(lo - 1, hi, st))
+            else:
+                index.append(int(self.evaluator.eval_scalar(sub)) - 1)
+        view = data[tuple(index)]
+        elements = int(np.asarray(view).size) if hasattr(view, "size") else 1
+        m.charge_host(m.model.host_element_op * max(1, elements))
+
+        mask = self.evaluator.eval(clause.mask)
+        value = self.evaluator.eval(clause.src)
+        if np.ndim(view) == 0:
+            if bool(np.all(mask)):
+                data[tuple(index)] = np.asarray(value).reshape(()).item() \
+                    if isinstance(value, np.ndarray) else value
+            return
+        val = np.broadcast_to(np.asarray(value), view.shape)
+        if np.ndim(mask) == 0:
+            if bool(mask):
+                np.copyto(view, val, casting="unsafe")
+        else:
+            mask_arr = np.broadcast_to(np.asarray(mask, bool), view.shape)
+            np.copyto(view, np.where(mask_arr, val, view), casting="unsafe")
+
+
+def format_host_program(program: HostProgram, indent: int = 0) -> str:
+    """Readable disassembly of a host program (for docs and debugging)."""
+    lines: list[str] = [f"HOST PROGRAM {program.name}:"]
+    _format_ops(program.ops, lines, 1)
+    return "\n".join(lines)
+
+
+def _format_ops(ops, lines: list[str], depth: int) -> None:
+    pad = "  " * depth
+    for op in ops:
+        if isinstance(op, Alloc):
+            lines.append(f"{pad}alloc {op.name}{list(op.extents)} "
+                         f": {op.dtype}")
+        elif isinstance(op, ScalarInit):
+            lines.append(f"{pad}scalar {op.name} = {op.value}")
+        elif isinstance(op, NodeCall):
+            args = ", ".join(a.name for a in op.args)
+            lines.append(f"{pad}call_pe {op.routine.name}({args}) "
+                         f"over {op.region_extents}")
+        elif isinstance(op, CommMove):
+            lines.append(f"{pad}cm_rt {op.kind}: {op.clause.tgt}")
+        elif isinstance(op, ReduceMove):
+            lines.append(f"{pad}cm_rt reduce: {op.clause.tgt}")
+        elif isinstance(op, ScalarMove):
+            lines.append(f"{pad}scalar_move {op.clause.tgt} <- "
+                         f"{op.clause.src}")
+        elif isinstance(op, ElementMove):
+            lines.append(f"{pad}element_move {op.clause.tgt}")
+        elif isinstance(op, Loop):
+            lines.append(f"{pad}for {op.var} = {op.lo}, {op.hi}, {op.step}:")
+            _format_ops(op.body, lines, depth + 1)
+        elif isinstance(op, WhileOp):
+            lines.append(f"{pad}while {op.cond}:")
+            _format_ops(op.body, lines, depth + 1)
+        elif isinstance(op, IfOp):
+            lines.append(f"{pad}if {op.cond}:")
+            _format_ops(op.then, lines, depth + 1)
+            if op.els:
+                lines.append(f"{pad}else:")
+                _format_ops(op.els, lines, depth + 1)
+        elif isinstance(op, Print):
+            lines.append(f"{pad}print {', '.join(map(str, op.values))}")
+        elif isinstance(op, Stop):
+            lines.append(f"{pad}stop")

@@ -1,0 +1,281 @@
+"""A numpy evaluator for NIR value trees over machine storage.
+
+The front-end (host) side of the runtime needs to evaluate NIR values in
+several situations: scalar expressions (loop bounds, conditions, PEAC
+scalar arguments), element reads inside serial loops, gather subscripts,
+and reduction arguments.  This evaluator implements the reference
+semantics of the value domain directly with numpy; the PE executor must
+agree with it (tests compare the two).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nir
+
+
+class EvalError(Exception):
+    """Raised on unevaluable values (unbound names, bad subscripts)."""
+
+
+_BINOP_FUNCS = {
+    nir.BinOp.ADD: np.add,
+    nir.BinOp.SUB: np.subtract,
+    nir.BinOp.MUL: np.multiply,
+    nir.BinOp.DIV: None,  # special: Fortran integer division truncates
+    nir.BinOp.POW: np.power,
+    nir.BinOp.MOD: None,  # special: sign-of-dividend semantics
+    nir.BinOp.MIN: np.minimum,
+    nir.BinOp.MAX: np.maximum,
+    nir.BinOp.EQ: np.equal,
+    nir.BinOp.NE: np.not_equal,
+    nir.BinOp.LT: np.less,
+    nir.BinOp.LE: np.less_equal,
+    nir.BinOp.GT: np.greater,
+    nir.BinOp.GE: np.greater_equal,
+    nir.BinOp.AND: np.logical_and,
+    nir.BinOp.OR: np.logical_or,
+    nir.BinOp.EQV: lambda a, b: np.equal(np.asarray(a, bool),
+                                         np.asarray(b, bool)),
+    nir.BinOp.NEQV: np.logical_xor,
+}
+
+_UNOP_FUNCS = {
+    nir.UnOp.NEG: np.negative,
+    nir.UnOp.NOT: np.logical_not,
+    nir.UnOp.ABS: np.abs,
+    nir.UnOp.SQRT: np.sqrt,
+    nir.UnOp.SIN: np.sin,
+    nir.UnOp.COS: np.cos,
+    nir.UnOp.TAN: np.tan,
+    nir.UnOp.ASIN: np.arcsin,
+    nir.UnOp.ACOS: np.arccos,
+    nir.UnOp.ATAN: np.arctan,
+    nir.UnOp.EXP: np.exp,
+    nir.UnOp.LOG: np.log,
+    nir.UnOp.LOG10: np.log10,
+    nir.UnOp.FLOOR: lambda a: np.floor(a).astype(np.int32),
+    nir.UnOp.CEILING: lambda a: np.ceil(a).astype(np.int32),
+    nir.UnOp.TO_INT: lambda a: np.trunc(np.asarray(a, np.float64)).astype(
+        np.int32),
+    nir.UnOp.TO_FLOAT32: lambda a: np.asarray(a, np.float32),
+    nir.UnOp.TO_FLOAT64: lambda a: np.asarray(a, np.float64),
+}
+
+
+def _is_int_like(x) -> bool:
+    if isinstance(x, (bool, np.bool_)):
+        return False
+    if isinstance(x, (int, np.integer)):
+        return True
+    return isinstance(x, np.ndarray) and np.issubdtype(x.dtype, np.integer)
+
+
+def apply_binop(op: nir.BinOp, a, b):
+    """Apply a BinOp with Fortran semantics (integer DIV truncates)."""
+    if op is nir.BinOp.DIV:
+        if _is_int_like(a) and _is_int_like(b):
+            return np.trunc(np.asarray(a, np.float64)
+                            / np.asarray(b, np.float64)).astype(np.int32)
+        return np.divide(a, b)
+    if op is nir.BinOp.MOD:
+        return np.fmod(a, b)
+    fn = _BINOP_FUNCS[op]
+    return fn(a, b)
+
+
+def apply_unop(op: nir.UnOp, a):
+    if op.is_transcendental and _is_int_like(a):
+        a = np.asarray(a, np.float64)
+    return _UNOP_FUNCS[op](a)
+
+
+class NirEvaluator:
+    """Evaluates NIR values against scalar bindings and array storage.
+
+    ``read_array(name)`` must return the full numpy array for a name;
+    ``scalars`` maps scalar names to Python numbers.  ``region`` (per
+    evaluation call) gives the iteration region for field-valued results:
+    ``everywhere`` references and ``local_under`` coordinates are cut to
+    it so all array results share one shape.
+    """
+
+    def __init__(self, read_array, scalars: dict[str, object],
+                 domains: dict[str, nir.Shape] | None = None) -> None:
+        self.read_array = read_array
+        self.scalars = scalars
+        self.domains = domains or {}
+
+    # ------------------------------------------------------------------
+
+    def eval(self, value: nir.Value, region=None):
+        """Evaluate; returns a numpy array (field) or Python scalar."""
+        with np.errstate(all="ignore"):
+            return self._eval(value, region)
+
+    def eval_scalar(self, value: nir.Value):
+        out = self._eval(value, None)
+        if isinstance(out, np.ndarray):
+            if out.size != 1:
+                raise EvalError(f"expected a scalar, got shape {out.shape}")
+            out = out.reshape(()).item()
+        if isinstance(out, np.generic):
+            out = out.item()
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _eval(self, value: nir.Value, region):
+        if isinstance(value, nir.Scalar):
+            return value.pyvalue
+        if isinstance(value, nir.SVar):
+            try:
+                return self.scalars[value.name]
+            except KeyError:
+                raise EvalError(f"unbound scalar '{value.name}'") from None
+        if isinstance(value, nir.AVar):
+            return self._eval_avar(value, region)
+        if isinstance(value, nir.LocalUnder):
+            return self._eval_local_under(value, region)
+        if isinstance(value, nir.Binary):
+            return apply_binop(value.op, self._eval(value.left, region),
+                               self._eval(value.right, region))
+        if isinstance(value, nir.Unary):
+            return apply_unop(value.op, self._eval(value.operand, region))
+        if isinstance(value, nir.FcnCall):
+            return self._eval_call(value, region)
+        raise EvalError(f"cannot evaluate {type(value).__name__}")
+
+    # ------------------------------------------------------------------
+
+    def _eval_avar(self, ref: nir.AVar, region):
+        data = np.asarray(self.read_array(ref.name))
+        if isinstance(ref.field, nir.Everywhere):
+            return data
+        if isinstance(ref.field, nir.Subscript):
+            return self._eval_subscript(data, ref.field, region)
+        raise EvalError(f"cannot evaluate field {ref.field}")
+
+    def _eval_subscript(self, data: np.ndarray, sub: nir.Subscript, region):
+        # Gather form: any field-valued index makes every non-scalar
+        # index a pointwise coordinate over the common region.
+        evaluated = []
+        gather = False
+        for idx in sub.indices:
+            if isinstance(idx, nir.IndexRange):
+                evaluated.append(idx)
+            else:
+                val = self._eval(idx, region)
+                evaluated.append(val)
+                if isinstance(val, np.ndarray):
+                    gather = True
+        if gather:
+            index_arrays = []
+            shape = None
+            for val in evaluated:
+                if isinstance(val, nir.IndexRange):
+                    raise EvalError("ranges may not mix with gather indices")
+                arr = np.asarray(val)
+                if arr.ndim > 0:
+                    shape = arr.shape
+            for val in evaluated:
+                arr = np.asarray(val)
+                if arr.ndim == 0:
+                    arr = np.broadcast_to(arr, shape)
+                index_arrays.append(arr.astype(np.int64) - 1)
+            return data[tuple(index_arrays)]
+        slices = []
+        for axis, val in enumerate(evaluated):
+            n = data.shape[axis]
+            if isinstance(val, nir.IndexRange):
+                lo = self._index_const(val.lo, 1)
+                hi = self._index_const(val.hi, n)
+                st = self._index_const(val.stride, 1)
+                slices.append(slice(lo - 1, hi, st))
+            else:
+                slices.append(int(val) - 1)
+        return data[tuple(slices)]
+
+    def _index_const(self, v, default: int) -> int:
+        if v is None:
+            return default
+        out = self._eval(v, None)
+        return int(out)
+
+    def _eval_local_under(self, value: nir.LocalUnder, region):
+        shape = nir.resolve(value.shape, self.domains)
+        dims = nir.dims_of(shape, self.domains)
+        axis = dims[value.dim - 1]
+        coords_1d = np.array(
+            [p[0] for p in nir.points(axis)], dtype=np.int32)
+        full_shape = nir.extents(shape, self.domains)
+        reshape = [1] * len(dims)
+        reshape[value.dim - 1] = len(coords_1d)
+        return np.broadcast_to(
+            coords_1d.reshape(reshape), full_shape).copy()
+
+    # ------------------------------------------------------------------
+
+    def _eval_call(self, call: nir.FcnCall, region):
+        name = call.name.lower()
+        args = call.args
+        if name == "merge":
+            t = self._eval(args[0], region)
+            f = self._eval(args[1], region)
+            m = self._eval(args[2], region)
+            return np.where(np.asarray(m, bool), t, f)
+        if name == "cshift":
+            arr = np.asarray(self._eval(args[0], region))
+            shift = int(self.eval_scalar(args[1]))
+            dim = int(self.eval_scalar(args[2]))
+            return np.roll(arr, -shift, axis=dim - 1)
+        if name == "eoshift":
+            arr = np.asarray(self._eval(args[0], region))
+            shift = int(self.eval_scalar(args[1]))
+            boundary = self.eval_scalar(args[2])
+            dim = int(self.eval_scalar(args[3])) - 1
+            out = np.roll(arr, -shift, axis=dim)
+            index = [slice(None)] * arr.ndim
+            if shift > 0:
+                index[dim] = slice(arr.shape[dim] - shift, None)
+            elif shift < 0:
+                index[dim] = slice(0, -shift)
+            else:
+                return out
+            out[tuple(index)] = boundary
+            return out
+        if name == "transpose":
+            return np.asarray(self._eval(args[0], region)).T.copy()
+        if name == "spread":
+            arr = np.asarray(self._eval(args[0], region))
+            dim = int(self.eval_scalar(args[1]))
+            ncopies = int(self.eval_scalar(args[2]))
+            return np.repeat(np.expand_dims(arr, dim - 1), ncopies,
+                             axis=dim - 1)
+        if name in ("sum", "product", "maxval", "minval", "count", "any",
+                    "all"):
+            arr = np.asarray(self._eval(args[0], region))
+            axis = None
+            if len(args) > 1:
+                axis = int(self.eval_scalar(args[1])) - 1
+            return self._reduce(name, arr, axis)
+        raise EvalError(f"cannot evaluate call '{call.name}'")
+
+    @staticmethod
+    def _reduce(name: str, arr: np.ndarray, axis):
+        if name == "sum":
+            return arr.sum(axis=axis)
+        if name == "product":
+            return arr.prod(axis=axis)
+        if name == "maxval":
+            return arr.max(axis=axis)
+        if name == "minval":
+            return arr.min(axis=axis)
+        if name == "count":
+            return np.asarray(arr, bool).sum(axis=axis).astype(np.int32)
+        if name == "any":
+            return np.asarray(arr, bool).any(axis=axis)
+        if name == "all":
+            return np.asarray(arr, bool).all(axis=axis)
+        raise EvalError(f"unknown reduction {name}")

@@ -1,0 +1,28 @@
+"""Target-independent NIR transformations (the paper's section 4.2)."""
+
+from .blocking import BlockingReport, fuse_phases, rebuild, schedule_phases
+from .dependence import EffectAnalyzer, Effects, may_depend
+from .loops import fuse_do, interchange, strip_mine, unroll_do
+from .masking import MaskingReport, MaskPadder, masks_disjoint
+from .normalize import NormalizeReport, Normalizer
+from .phases import DomainKey, Phase, PhaseClassifier, PhaseKind
+from .promotion import LoopPromoter, PromotionReport
+from .pipeline import (
+    Options,
+    TransformedProgram,
+    TransformReport,
+    optimize,
+    unwrap_body,
+    wrap_body,
+)
+from .regions import (
+    Region,
+    full_region,
+    region_of_field,
+    region_shape,
+    regions_equal,
+    regions_overlap,
+    unknown_region,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

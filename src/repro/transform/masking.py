@@ -1,0 +1,214 @@
+"""Mask padding: the Figure 10 transformation.
+
+"By generating mask code, the compiler pads computations over array
+subsections to full-array operations, increasing the pool of sibling
+computations which could be implemented in the same computation block.
+When multiple array subsections can be shown to be disjoint, as in a
+WHERE/ELSEWHERE construct, the logical mask which is generated can be
+reused and the computations blocked together."
+
+A section assignment ``B(1:32:2,:) = A(1:32:2,:)`` becomes a full-shape
+masked MOVE whose mask tests the axis coordinate:
+``mod(local_under(S,1) - 1, 2) == 0``.  Afterwards the move's domain key
+is the full array shape, so the blocking fuser can group it with other
+full-shape computations — including its ELSEWHERE sibling, whose mask is
+provably disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import nir
+from ..lowering.environment import Environment
+from . import regions as rg
+
+
+@dataclass
+class MaskingReport:
+    padded: int = 0
+    skipped: int = 0
+
+
+class MaskPadder:
+    def __init__(self, env: Environment,
+                 domains: dict[str, nir.Shape] | None = None) -> None:
+        self.env = env
+        self.domains = domains if domains is not None else env.domains
+        self.report = MaskingReport()
+
+    def pad_program(self, node: nir.Imperative) -> nir.Imperative:
+        if isinstance(node, nir.Program):
+            return nir.Program(self.pad_program(node.body), node.name)
+        if isinstance(node, nir.WithDomain):
+            return nir.WithDomain(node.name, node.shape,
+                                  self.pad_program(node.body))
+        if isinstance(node, nir.WithDecl):
+            return nir.WithDecl(node.decl, self.pad_program(node.body))
+        if isinstance(node, nir.Sequentially):
+            return nir.seq(*[self.pad_program(a) for a in node.actions])
+        if isinstance(node, nir.Do):
+            return nir.Do(node.shape, self.pad_program(node.body),
+                          node.index_names)
+        if isinstance(node, nir.While):
+            return nir.While(node.cond, self.pad_program(node.body))
+        if isinstance(node, nir.IfThenElse):
+            return nir.IfThenElse(node.cond, self.pad_program(node.then),
+                                  self.pad_program(node.els))
+        if isinstance(node, nir.Move):
+            return nir.Move(tuple(self.pad_clause(c) for c in node.clauses))
+        return node
+
+    # ------------------------------------------------------------------
+
+    def pad_clause(self, clause: nir.MoveClause) -> nir.MoveClause:
+        padded = self.try_pad(clause)
+        if padded is None:
+            return clause
+        return padded
+
+    def try_pad(self, clause: nir.MoveClause) -> nir.MoveClause | None:
+        """Pad a section computation to a full-shape masked move, or None.
+
+        Applicable when: the target is a pure-range section (no scalar or
+        computed subscripts), every array operand is a section with the
+        *identical* region (so index spaces coincide pointwise), strides
+        are positive, and coordinate values (``LocalUnder``) refer to the
+        section region.
+        """
+        if not isinstance(clause.tgt, nir.AVar) \
+                or not isinstance(clause.tgt.field, nir.Subscript):
+            return None
+        sym = self.env.lookup(clause.tgt.name)
+        tregion = rg.region_of_field(clause.tgt.field, sym.extents,
+                                     self.domains)
+        if not tregion.exact or tregion.is_full:
+            return None
+        if any(not isinstance(i, nir.IndexRange)
+               for i in clause.tgt.field.indices):
+            return None
+        if any(st <= 0 for _, _, st in tregion.axes):
+            return None
+
+        base_dom = sym.domain
+        base_shape = (nir.DomainRef(base_dom) if base_dom is not None
+                      else nir.shape_of_extents(sym.extents))
+
+        ok = True
+
+        def rewrite(value: nir.Value) -> nir.Value:
+            nonlocal ok
+            if isinstance(value, nir.AVar):
+                osym = self.env.lookup(value.name)
+                oreg = rg.region_of_field(value.field, osym.extents,
+                                          self.domains)
+                if rg.regions_equal(oreg, tregion):
+                    return nir.AVar(value.name, nir.Everywhere())
+                if oreg.is_full and osym.extents == sym.extents:
+                    # Full-shape operand (e.g. an earlier-padded mask
+                    # input); reading extra points under the mask is safe.
+                    return value
+                ok = False
+                return value
+            if isinstance(value, nir.LocalUnder):
+                # Section coordinates equal base coordinates at the same
+                # points, so retarget the coordinate field to the base.
+                return nir.LocalUnder(base_shape, value.dim)
+            if isinstance(value, nir.Binary):
+                return nir.Binary(value.op, rewrite(value.left),
+                                  rewrite(value.right))
+            if isinstance(value, nir.Unary):
+                return nir.Unary(value.op, rewrite(value.operand))
+            if isinstance(value, nir.FcnCall):
+                return nir.FcnCall(value.name,
+                                   tuple(rewrite(a) for a in value.args))
+            return value
+
+        new_src = rewrite(clause.src)
+        new_mask_in = rewrite(clause.mask)
+        if not ok:
+            self.report.skipped += 1
+            return None
+
+        region_mask = self.region_mask(base_shape, sym.extents, tregion)
+        if clause.mask == nir.TRUE:
+            mask = region_mask
+        else:
+            mask = nir.Binary(nir.BinOp.AND, region_mask, new_mask_in)
+        self.report.padded += 1
+        return nir.MoveClause(mask, new_src,
+                              nir.AVar(clause.tgt.name, nir.Everywhere()))
+
+    def region_mask(self, base_shape: nir.Shape,
+                    base_extents: tuple[int, ...],
+                    region: rg.Region) -> nir.Value:
+        """The logical mask selecting ``region`` within the full shape."""
+        conds: list[nir.Value] = []
+        for axis, ((lo, hi, st), n) in enumerate(
+                zip(region.axes, base_extents), start=1):
+            coord = nir.LocalUnder(base_shape, axis)
+            if lo > 1:
+                conds.append(nir.Binary(nir.BinOp.GE, coord,
+                                        nir.int_const(lo)))
+            if hi < n:
+                conds.append(nir.Binary(nir.BinOp.LE, coord,
+                                        nir.int_const(hi)))
+            if st > 1:
+                offset = nir.Binary(nir.BinOp.SUB, coord, nir.int_const(lo))
+                conds.append(nir.Binary(
+                    nir.BinOp.EQ,
+                    nir.Binary(nir.BinOp.MOD, offset, nir.int_const(st)),
+                    nir.int_const(0)))
+        if not conds:
+            return nir.TRUE
+        mask = conds[0]
+        for c in conds[1:]:
+            mask = nir.Binary(nir.BinOp.AND, mask, c)
+        return mask
+
+
+def masks_disjoint(a: nir.MoveClause, b: nir.MoveClause,
+                   env: Environment,
+                   domains: dict[str, nir.Shape]) -> bool:
+    """Are two padded clauses' masks provably disjoint (Figure 10)?
+
+    Recognizes the complement pattern (``m`` vs ``.not. m``) and
+    residue-class masks over the same coordinate with different
+    remainders (odd/even strided sections).
+    """
+    ma, mb = a.mask, b.mask
+    if ma == nir.Unary(nir.UnOp.NOT, mb) or mb == nir.Unary(nir.UnOp.NOT, ma):
+        return True
+    ra = _residue_pattern(ma)
+    rb = _residue_pattern(mb)
+    if ra is not None and rb is not None:
+        (coord_a, mod_a, res_a) = ra
+        (coord_b, mod_b, res_b) = rb
+        if coord_a == coord_b and mod_a == mod_b and res_a != res_b:
+            return True
+    return False
+
+
+def _residue_pattern(mask: nir.Value):
+    """Match ``mod(coord - k, m) == r`` and return (coord, m, (k + r) % m)."""
+    if not (isinstance(mask, nir.Binary) and mask.op is nir.BinOp.EQ):
+        return None
+    modexpr, target = mask.left, mask.right
+    if not (isinstance(target, nir.Scalar) and target.type.is_integer):
+        return None
+    if not (isinstance(modexpr, nir.Binary)
+            and modexpr.op is nir.BinOp.MOD):
+        return None
+    base, modulus = modexpr.left, modexpr.right
+    if not (isinstance(modulus, nir.Scalar) and modulus.type.is_integer):
+        return None
+    shift = 0
+    if isinstance(base, nir.Binary) and base.op is nir.BinOp.SUB \
+            and isinstance(base.right, nir.Scalar):
+        shift = int(base.right.rep)
+        base = base.left
+    if not isinstance(base, nir.LocalUnder):
+        return None
+    m = int(modulus.rep)
+    r = (int(target.rep) + shift) % m
+    return (base, m, r)

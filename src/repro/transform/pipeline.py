@@ -1,0 +1,225 @@
+"""The NIR optimization pipeline (the paper's target-independent phase).
+
+Runs, in order: normalization (communication/reduction extraction and
+alignment copies), mask padding (Figure 10), and domain blocking with
+fusion (Figure 9), recursively inside serial control structure.  Each
+step is individually switchable for the ablation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import nir
+from ..lowering.check import check_program
+from ..lowering.environment import Environment
+from ..lowering.lower import LoweredProgram
+from .blocking import BlockingReport, fuse_phases, rebuild, schedule_phases
+from .masking import MaskingReport, MaskPadder
+from .normalize import Normalizer, NormalizeReport
+from .phases import PhaseClassifier
+from .promotion import LoopPromoter, PromotionReport
+
+
+@dataclass(frozen=True)
+class Options:
+    """Optimization switches (each is a DESIGN.md ablation point)."""
+
+    promote_loops: bool = True  # serial DO axes to parallel MOVE dims
+    comm_cse: bool = True    # reuse identical communication results
+    neighborhood: bool = False  # §5.3.2: CSHIFT operands stay in blocks
+    block: bool = True       # reorder phases to group like domains
+    fuse: bool = True        # merge adjacent like-domain MOVEs
+    pad_masks: bool = True   # Figure 10 section padding
+    recheck: bool = True     # re-run type/shape checks afterwards
+
+    @classmethod
+    def naive(cls) -> "Options":
+        """Promotion and normalization only — the per-statement comparison
+        point (loops still vectorize, but no cross-statement blocking)."""
+        return cls(comm_cse=False, block=False, fuse=False,
+                   pad_masks=False)
+
+
+@dataclass
+class TransformReport:
+    promotion: PromotionReport = field(default_factory=PromotionReport)
+    normalize: NormalizeReport = field(default_factory=NormalizeReport)
+    masking: MaskingReport = field(default_factory=MaskingReport)
+    blocking: BlockingReport = field(default_factory=BlockingReport)
+
+
+@dataclass
+class TransformedProgram:
+    """An optimized NIR program ready for the target-specific phase."""
+
+    nir: nir.Program
+    env: Environment
+    options: Options
+    report: TransformReport
+
+    @property
+    def domains(self) -> dict[str, nir.Shape]:
+        return self.env.domains
+
+    def inner_body(self) -> nir.Imperative:
+        node: nir.Imperative = self.nir.body
+        while isinstance(node, (nir.WithDomain, nir.WithDecl)):
+            node = node.body
+        return node
+
+
+def unwrap_body(program: nir.Program) -> nir.Imperative:
+    """Strip the PROGRAM/WITH_DOMAIN/WITH_DECL scaffolding."""
+    node: nir.Imperative = program.body
+    while isinstance(node, (nir.WithDomain, nir.WithDecl)):
+        node = node.body
+    return node
+
+
+def wrap_body(body: nir.Imperative, env: Environment,
+              name: str) -> nir.Program:
+    """Re-apply scoping: declarations innermost, domains around them."""
+    scoped: nir.Imperative = nir.WithDecl(env.nir_declarations(), body)
+    for dom_name, shape in reversed(list(env.domains.items())):
+        scoped = nir.WithDomain(dom_name, shape, scoped)
+    return nir.Program(scoped, name=name)
+
+
+def optimize(lowered: LoweredProgram,
+             options: Options | None = None) -> TransformedProgram:
+    """Apply the target-independent NIR transformations."""
+    options = options or Options()
+    env = lowered.env
+    report = TransformReport()
+
+    program = lowered.nir
+    if options.promote_loops:
+        promoter = LoopPromoter(env)
+        program = promoter.promote(program)
+        report.promotion = promoter.report
+
+    normalizer = Normalizer(env, comm_cse=options.comm_cse,
+                            neighborhood=options.neighborhood)
+    program = normalizer.normalize(program)
+    report.normalize = normalizer.report
+
+    body = unwrap_body(program)
+
+    if options.pad_masks:
+        padder = MaskPadder(env)
+        body = padder.pad_program(body)
+        report.masking = padder.report
+
+    body = _eliminate_dead_scalar_stores(
+        body, report.promotion.promoted_indices)
+
+    if options.block or options.fuse:
+        body = _block_recursive(body, env, options, report.blocking)
+
+    program = wrap_body(body, env, program.name)
+    result = TransformedProgram(nir=program, env=env, options=options,
+                                report=report)
+    if options.recheck:
+        check_program(program, env)
+    return result
+
+
+def _scalar_reads(node: nir.Imperative) -> set[str]:
+    """Every scalar name the program can observe (reads, conditions, IO)."""
+    reads: set[str] = set()
+    for n in nir.imperatives.walk(node):
+        if isinstance(n, nir.Move):
+            # A move READS its mask, source, and target subscripts — the
+            # stored-to scalar itself is a write, not a read.
+            for clause in n.clauses:
+                reads |= nir.scalar_vars(clause.mask)
+                reads |= nir.scalar_vars(clause.src)
+                if isinstance(clause.tgt, nir.AVar) \
+                        and isinstance(clause.tgt.field, nir.Subscript):
+                    for idx in clause.tgt.field.indices:
+                        if not isinstance(idx, nir.IndexRange):
+                            reads |= nir.scalar_vars(idx)
+        else:
+            for value in nir.imperatives.values_of(n):
+                reads |= nir.scalar_vars(value)
+    return reads
+
+
+def _eliminate_dead_scalar_stores(node: nir.Imperative,
+                                  candidates: set[str]) -> nir.Imperative:
+    """Drop dead exit-value stores to promoted DO variables.
+
+    Loop promotion preserves each DO variable's Fortran exit value with a
+    constant scalar move; when nothing ever reads the variable again the
+    store is dead front-end work and is removed.  Only promotion-
+    generated index stores are candidates — user scalar assignments are
+    observable program state and always survive.
+    """
+    if not candidates:
+        return node
+    live = _scalar_reads(node)
+
+    def clean(n: nir.Imperative) -> nir.Imperative:
+        if isinstance(n, nir.Move):
+            kept = tuple(
+                c for c in n.clauses
+                if not (isinstance(c.tgt, nir.SVar)
+                        and c.tgt.name in candidates
+                        and c.tgt.name not in live
+                        and nir.is_constant(c.src)
+                        and c.mask == nir.TRUE))
+            if not kept:
+                return nir.Skip()
+            if len(kept) != len(n.clauses):
+                return nir.Move(kept)
+            return n
+        if isinstance(n, nir.Sequentially):
+            return nir.seq(*[clean(a) for a in n.actions])
+        if isinstance(n, nir.Do):
+            return nir.Do(n.shape, clean(n.body), n.index_names)
+        if isinstance(n, nir.While):
+            return nir.While(n.cond, clean(n.body))
+        if isinstance(n, nir.IfThenElse):
+            return nir.IfThenElse(n.cond, clean(n.then), clean(n.els))
+        return n
+
+    return clean(node)
+
+
+def _block_recursive(node: nir.Imperative, env: Environment,
+                     options: Options,
+                     report: BlockingReport) -> nir.Imperative:
+    """Apply schedule+fuse to every statement sequence, bottom-up."""
+    if isinstance(node, nir.Sequentially):
+        children = [_block_recursive(a, env, options, report)
+                    for a in node.actions]
+        seq = nir.seq(*children)
+        if not isinstance(seq, nir.Sequentially):
+            return seq
+        classifier = PhaseClassifier(env, neighborhood=options.neighborhood)
+        phases = classifier.split(seq)
+        report.phases_in += len(phases)
+        if options.block:
+            phases = schedule_phases(phases, report)
+        if options.fuse:
+            phases = fuse_phases(phases, report)
+        else:
+            report.phases_out += len(phases)
+        return rebuild(phases)
+    if isinstance(node, nir.Do):
+        return nir.Do(node.shape,
+                      _block_recursive(node.body, env, options, report),
+                      node.index_names)
+    if isinstance(node, nir.While):
+        return nir.While(node.cond,
+                         _block_recursive(node.body, env, options, report))
+    if isinstance(node, nir.IfThenElse):
+        return nir.IfThenElse(
+            node.cond,
+            _block_recursive(node.then, env, options, report),
+            _block_recursive(node.els, env, options, report))
+    if isinstance(node, nir.Concurrently):
+        return nir.Concurrently(tuple(
+            _block_recursive(a, env, options, report) for a in node.actions))
+    return node

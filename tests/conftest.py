@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.driver.compiler import CompilerOptions, compile_source
+from repro.driver.reference import run_reference
+from repro.frontend.parser import parse_program
+from repro.lowering import check_program, lower_program
+from repro.machine import Machine, fieldwise_model, slicewise_model
+from repro.transform import optimize
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """A CM/2 with 64 PEs: identical semantics, smaller geometries."""
+    return Machine(slicewise_model(n_pes=64))
+
+
+def lower(source: str):
+    """Parse + lower + check; returns the LoweredProgram."""
+    lowered = lower_program(parse_program(source))
+    check_program(lowered.nir, lowered.env)
+    return lowered
+
+
+def transform(source: str, options=None):
+    """Parse + lower + optimize; returns the TransformedProgram."""
+    return optimize(lower(source), options)
+
+
+def compile_and_run(source: str, options: CompilerOptions | None = None,
+                    machine: Machine | None = None):
+    """Full pipeline compile + run on a fresh small machine."""
+    exe = compile_source(source, options)
+    return exe.run(machine or Machine(slicewise_model(n_pes=64)))
+
+
+def assert_matches_reference(source: str,
+                             options: CompilerOptions | None = None,
+                             rtol: float = 1e-9,
+                             check_scalars: tuple[str, ...] = ()):
+    """Compile+run and compare every array with the reference oracle."""
+    result = compile_and_run(source, options)
+    ref = run_reference(parse_program(source))
+    for name, expected in ref.arrays.items():
+        got = result.arrays[name]
+        np.testing.assert_allclose(
+            got, expected, rtol=rtol, atol=1e-12,
+            err_msg=f"array '{name}' diverges from the reference")
+    for name in check_scalars:
+        assert np.isclose(float(result.scalars[name]),
+                          float(ref.scalars[name]), rtol=rtol), name
+    return result, ref

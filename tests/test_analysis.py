@@ -1,0 +1,231 @@
+"""Type/shape inference (the static shapechecking engine) and intrinsics
+catalogue tests."""
+
+import pytest
+
+from repro import nir
+from repro.frontend import intrinsics as intr
+from repro.frontend.parser import parse_program
+from repro.lowering import build_environment
+from repro.lowering.analysis import Inference
+
+SRC = """
+integer, parameter :: n = 8
+integer k(8,4)
+double precision x(8)
+double precision t
+logical m(8)
+integer i
+end
+"""
+
+
+@pytest.fixture
+def inf():
+    env = build_environment(parse_program(SRC))
+    return Inference(env)
+
+
+class TestScalarInference:
+    def test_constant(self, inf):
+        info = inf.infer(nir.int_const(3))
+        assert info.elem == nir.INTEGER_32 and info.is_scalar
+
+    def test_svar(self, inf):
+        info = inf.infer(nir.SVar("t"))
+        assert info.elem == nir.FLOAT_64 and info.is_scalar
+
+    def test_svar_of_array_rejected(self, inf):
+        with pytest.raises(nir.TypeError_):
+            inf.infer(nir.SVar("k"))
+
+    def test_arith_promotion(self, inf):
+        info = inf.infer(nir.Binary(nir.BinOp.ADD, nir.SVar("i"),
+                                    nir.SVar("t")))
+        assert info.elem == nir.FLOAT_64
+
+    def test_relational_yields_logical(self, inf):
+        info = inf.infer(nir.Binary(nir.BinOp.GT, nir.SVar("i"),
+                                    nir.int_const(0)))
+        assert info.elem == nir.LOGICAL_32
+
+    def test_logical_op_requires_logical(self, inf):
+        with pytest.raises(nir.TypeError_):
+            inf.infer(nir.Binary(nir.BinOp.AND, nir.SVar("i"),
+                                 nir.SVar("i")))
+
+    def test_arith_on_logical_rejected(self, inf):
+        with pytest.raises(nir.TypeError_):
+            inf.infer(nir.Binary(nir.BinOp.ADD, nir.AVar("m"),
+                                 nir.AVar("m")))
+
+    def test_not_requires_logical(self, inf):
+        with pytest.raises(nir.TypeError_):
+            inf.infer(nir.Unary(nir.UnOp.NOT, nir.SVar("i")))
+
+    def test_transcendental_promotes_int(self, inf):
+        info = inf.infer(nir.Unary(nir.UnOp.SIN, nir.SVar("i")))
+        assert info.elem == nir.FLOAT_64
+
+    def test_conversions(self, inf):
+        assert inf.infer(nir.Unary(nir.UnOp.TO_INT, nir.SVar("t"))).elem \
+            == nir.INTEGER_32
+        assert inf.infer(nir.Unary(nir.UnOp.TO_FLOAT32,
+                                   nir.SVar("i"))).elem == nir.FLOAT_32
+
+
+class TestShapeInference:
+    def test_everywhere_shape(self, inf):
+        info = inf.infer(nir.AVar("k"))
+        assert nir.extents(info.shape, inf.domains) == (8, 4)
+
+    def test_broadcast_scalar_array(self, inf):
+        info = inf.infer(nir.Binary(nir.BinOp.MUL, nir.AVar("x"),
+                                    nir.SVar("t")))
+        assert nir.extents(info.shape, inf.domains) == (8,)
+
+    def test_conforming_arrays(self, inf):
+        info = inf.infer(nir.Binary(nir.BinOp.ADD, nir.AVar("x"),
+                                    nir.AVar("x")))
+        assert nir.extents(info.shape, inf.domains) == (8,)
+
+    def test_nonconforming_rejected(self, inf):
+        with pytest.raises(nir.ShapeError):
+            inf.infer(nir.Binary(nir.BinOp.ADD, nir.AVar("x"),
+                                 nir.AVar("k")))
+
+    def test_section_shape(self, inf):
+        field = nir.Subscript((
+            nir.IndexRange(nir.int_const(2), nir.int_const(7), None),
+            nir.int_const(1)))
+        info = inf.infer(nir.AVar("k", field))
+        assert nir.extents(info.shape, inf.domains) == (6,)
+
+    def test_all_scalar_subscripts_scalar(self, inf):
+        field = nir.Subscript((nir.int_const(1), nir.int_const(2)))
+        info = inf.infer(nir.AVar("k", field))
+        assert info.is_scalar
+
+    def test_rank_mismatch(self, inf):
+        with pytest.raises(nir.ShapeError):
+            inf.infer(nir.AVar("k", nir.Subscript((nir.int_const(1),))))
+
+    def test_gather_shape_is_region(self, inf):
+        lu = nir.LocalUnder(nir.Interval(1, 4), 1)
+        info = inf.infer(nir.AVar("k", nir.Subscript((lu, lu))))
+        assert nir.extents(info.shape, inf.domains) == (4,)
+
+    def test_gather_mixed_with_range_rejected(self, inf):
+        lu = nir.LocalUnder(nir.Interval(1, 4), 1)
+        field = nir.Subscript((nir.IndexRange(None, None), lu))
+        with pytest.raises(nir.ShapeError):
+            inf.infer(nir.AVar("k", field))
+
+    def test_local_under_axis_bounds(self, inf):
+        with pytest.raises(nir.ShapeError):
+            inf.infer(nir.LocalUnder(nir.Interval(1, 4), 3))
+
+    def test_cshift_preserves_shape(self, inf):
+        call = nir.FcnCall("cshift", (nir.AVar("k"), nir.int_const(1),
+                                      nir.int_const(2)))
+        info = inf.infer(call)
+        assert nir.extents(info.shape, inf.domains) == (8, 4)
+
+    def test_transpose_swaps(self, inf):
+        call = nir.FcnCall("transpose", (nir.AVar("k"),))
+        info = inf.infer(call)
+        assert nir.extents(info.shape, inf.domains) == (4, 8)
+
+    def test_transpose_rank1_rejected(self, inf):
+        with pytest.raises(nir.ShapeError):
+            inf.infer(nir.FcnCall("transpose", (nir.AVar("x"),)))
+
+    def test_spread_inserts_axis(self, inf):
+        call = nir.FcnCall("spread", (nir.AVar("x"), nir.int_const(1),
+                                      nir.int_const(3)))
+        info = inf.infer(call)
+        assert nir.extents(info.shape, inf.domains) == (3, 8)
+
+    def test_full_reduction_scalar(self, inf):
+        info = inf.infer(nir.FcnCall("sum", (nir.AVar("k"),)))
+        assert info.is_scalar and info.elem == nir.INTEGER_32
+
+    def test_dim_reduction_drops_axis(self, inf):
+        info = inf.infer(nir.FcnCall("sum", (nir.AVar("k"),
+                                             nir.int_const(1))))
+        assert nir.extents(info.shape, inf.domains) == (4,)
+
+    def test_count_yields_integer(self, inf):
+        mask = nir.Binary(nir.BinOp.GT, nir.AVar("x"),
+                          nir.float_const(0.0))
+        info = inf.infer(nir.FcnCall("count", (mask,)))
+        assert info.elem == nir.INTEGER_32 and info.is_scalar
+
+    def test_any_yields_logical(self, inf):
+        mask = nir.Binary(nir.BinOp.GT, nir.AVar("x"),
+                          nir.float_const(0.0))
+        assert inf.infer(nir.FcnCall("any", (mask,))).elem \
+            == nir.LOGICAL_32
+
+    def test_merge_combines(self, inf):
+        call = nir.FcnCall("merge", (nir.AVar("x"), nir.AVar("x"),
+                                     nir.AVar("m")))
+        info = inf.infer(call)
+        assert info.elem == nir.FLOAT_64
+        assert nir.extents(info.shape, inf.domains) == (8,)
+
+    def test_merge_mask_must_be_logical(self, inf):
+        with pytest.raises(nir.TypeError_):
+            inf.infer(nir.FcnCall("merge", (nir.AVar("x"), nir.AVar("x"),
+                                            nir.AVar("x"))))
+
+    def test_unknown_function_rejected(self, inf):
+        with pytest.raises(nir.TypeError_):
+            inf.infer(nir.FcnCall("mystery", (nir.AVar("x"),)))
+
+
+class TestIntrinsicsCatalogue:
+    def test_categories(self):
+        assert intr.category_of("sin") == "elemental"
+        assert intr.category_of("cshift") == "communication"
+        assert intr.category_of("sum") == "reduction"
+        assert intr.category_of("size") == "inquiry"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            intr.category_of("frobnicate")
+
+    def test_is_intrinsic(self):
+        assert intr.is_intrinsic("CSHIFT")
+        assert intr.is_intrinsic("merge")
+        assert not intr.is_intrinsic("myfunc")
+
+    def test_normalize_args_positional(self):
+        sig = intr.COMMUNICATION["cshift"]
+        slots = intr.normalize_args(sig, ["a", "s"], {})
+        assert slots == ["a", "s", None]
+
+    def test_normalize_args_keywords(self):
+        sig = intr.COMMUNICATION["cshift"]
+        slots = intr.normalize_args(sig, ["a"], {"dim": 2, "shift": -1})
+        assert slots == ["a", -1, 2]
+
+    def test_normalize_args_duplicate_rejected(self):
+        sig = intr.COMMUNICATION["cshift"]
+        with pytest.raises(ValueError, match="duplicate"):
+            intr.normalize_args(sig, ["a", "s"], {"shift": 1})
+
+    def test_normalize_args_unknown_keyword(self):
+        sig = intr.COMMUNICATION["cshift"]
+        with pytest.raises(ValueError, match="unknown keyword"):
+            intr.normalize_args(sig, ["a", 1], {"axis": 1})
+
+    def test_normalize_args_missing_required(self):
+        sig = intr.COMMUNICATION["cshift"]
+        with pytest.raises(ValueError, match="missing"):
+            intr.normalize_args(sig, ["a"], {"dim": 1})
+
+    def test_normalize_args_too_many(self):
+        sig = intr.COMMUNICATION["transpose"]
+        with pytest.raises(ValueError, match="too many"):
+            intr.normalize_args(sig, ["a", "b"], {})

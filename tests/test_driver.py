@@ -1,0 +1,191 @@
+"""Driver, reference-interpreter, metrics and baseline-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    Atomizer,
+    compile_cmfortran,
+    compile_starlisp,
+    run_cmfortran,
+    run_starlisp,
+)
+from repro.driver.compiler import CompilerOptions, compile_source
+from repro.driver.metrics import speedup, summarize
+from repro.driver.reference import ReferenceError_, run_reference
+from repro.frontend.parser import parse_program
+from repro.machine import Machine, fieldwise_model, slicewise_model
+from repro.machine.stats import RunStats
+
+
+class TestReferenceInterpreter:
+    def run(self, src, inputs=None):
+        return run_reference(parse_program(src), inputs)
+
+    def test_arrays_zero_initialized(self):
+        ref = self.run("integer a(4)\na = a + 1\nend")
+        np.testing.assert_array_equal(ref.arrays["a"], [1, 1, 1, 1])
+
+    def test_integer_truncation_on_store(self):
+        ref = self.run("integer a(2)\na = 7 / 2\nend")
+        np.testing.assert_array_equal(ref.arrays["a"], [3, 3])
+
+    def test_forall_reads_before_writes(self):
+        # FORALL semantics: all RHS evaluated before any store.
+        ref = self.run(
+            "integer a(4)\nforall (i=1:4) a(i) = i\n"
+            "forall (i=1:4) a(i) = a(5-i)\nend")
+        np.testing.assert_array_equal(ref.arrays["a"], [4, 3, 2, 1])
+
+    def test_where_mask_evaluated_once(self):
+        ref = self.run(
+            "integer a(4)\nforall (i=1:4) a(i) = i\n"
+            "where (a > 2)\na = 0\nelsewhere\na = 9\nend where\nend")
+        np.testing.assert_array_equal(ref.arrays["a"], [9, 9, 0, 0])
+
+    def test_do_loop_with_negative_step(self):
+        ref = self.run(
+            "integer a(5)\ninteger i\n"
+            "do i = 5, 1, -1\na(i) = 6 - i\nend do\nend")
+        np.testing.assert_array_equal(ref.arrays["a"], [5, 4, 3, 2, 1])
+
+    def test_stop_statement(self):
+        ref = self.run("integer x\nx = 1\nstop\nx = 2\nend")
+        assert ref.scalars["x"] == 1
+
+    def test_print_output(self):
+        ref = self.run("integer x\nx = 42\nprint *, x\nend")
+        assert ref.output == ["42"]
+
+    def test_unsupported_call_raises(self):
+        with pytest.raises(ReferenceError_):
+            self.run("call mystery()\nend")
+
+    def test_use_before_set_raises(self):
+        with pytest.raises(ReferenceError_):
+            self.run("integer x, y\ny = x + 1\nend")
+
+    def test_inputs_override(self):
+        ref = self.run("integer a(3), b(3)\nb = a * 10\nend",
+                       inputs={"a": np.array([1, 2, 3])})
+        np.testing.assert_array_equal(ref.arrays["b"], [10, 20, 30])
+
+
+class TestCompilerDriver:
+    def test_compile_source_returns_reports(self):
+        exe = compile_source("integer a(8)\na = 1\nend")
+        assert exe.partition.compute_blocks == 1
+        assert exe.transformed.report is not None
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            compile_source("integer a(4)\na=1\nend",
+                           CompilerOptions(target="cm3"))
+
+    def test_run_accumulates_stats(self):
+        exe = compile_source("integer a(64)\na = 1\na = a + 1\nend")
+        res = exe.run(Machine(slicewise_model(64)))
+        assert res.stats.node_calls >= 1
+        assert res.stats.total_cycles > 0
+        assert res.stats.elements_computed >= 64
+
+    def test_flop_counting_zero_for_integers(self):
+        exe = compile_source("integer a(64)\na = a + 1\nend")
+        res = exe.run(Machine(slicewise_model(64)))
+        assert res.stats.flops == 0
+
+    def test_flop_counting_for_doubles(self):
+        exe = compile_source(
+            "double precision a(64)\na = a + 1.0d0\nend")
+        res = exe.run(Machine(slicewise_model(64)))
+        assert res.stats.flops == 64
+
+    def test_gflops_positive_for_float_work(self):
+        exe = compile_source(
+            "double precision a(256)\na = a * 2.0d0 + 1.0d0\nend")
+        res = exe.run(Machine(slicewise_model(64)))
+        assert res.gflops() > 0
+
+    def test_separate_runs_fresh_machines(self):
+        exe = compile_source("integer a(8)\na = a + 1\nend")
+        r1 = exe.run(Machine(slicewise_model(64)))
+        r2 = exe.run(Machine(slicewise_model(64)))
+        np.testing.assert_array_equal(r1.arrays["a"], r2.arrays["a"])
+        assert r1.stats.total_cycles == r2.stats.total_cycles
+
+
+class TestMetrics:
+    def test_summarize_row(self):
+        stats = RunStats(node_cycles=70, call_cycles=10, comm_cycles=15,
+                         host_cycles=5, flops=1000, node_calls=3)
+        s = summarize("test", stats, 7.0e6)
+        assert s.total_cycles == 100
+        assert s.comm_fraction == pytest.approx(0.15)
+        assert "test" in s.row()
+
+    def test_speedup(self):
+        a = summarize("a", RunStats(node_cycles=200), 1e6)
+        b = summarize("b", RunStats(node_cycles=100), 1e6)
+        assert speedup(a, b) == 2.0
+
+
+class TestBaselines:
+    SRC = ("double precision a(64), b(64)\n"
+           "forall (i=1:64) a(i) = i * 0.5d0\n"
+           "b = a * 2.0d0 + 1.0d0\nb = b + a\nend")
+
+    def test_starlisp_atomizes(self):
+        exe = compile_starlisp(self.SRC)
+        # Atomized: strictly more node calls than the optimized pipeline.
+        opt = compile_source(self.SRC)
+        assert exe.partition.compute_blocks > opt.partition.compute_blocks
+
+    def test_starlisp_single_op_routines(self):
+        exe = compile_starlisp(self.SRC)
+        for routine in exe.routines.values():
+            arith = [i for i in routine.body
+                     if i.kind not in ("load", "store", "move")]
+            assert len(arith) <= 1
+
+    def test_starlisp_correct(self):
+        res = run_starlisp(self.SRC, n_pes=64)
+        ref = run_reference(parse_program(self.SRC))
+        np.testing.assert_allclose(res.arrays["b"], ref.arrays["b"])
+
+    def test_cmfortran_statement_at_a_time(self):
+        exe = compile_cmfortran(self.SRC)
+        opt = compile_source(self.SRC)
+        assert exe.partition.compute_blocks >= opt.partition.compute_blocks
+
+    def test_cmfortran_correct(self):
+        res = run_cmfortran(self.SRC, n_pes=64)
+        ref = run_reference(parse_program(self.SRC))
+        np.testing.assert_allclose(res.arrays["b"], ref.arrays["b"])
+
+    def test_performance_ordering_on_float_kernel(self):
+        # Large enough that node time dominates dispatch (vlen 128).
+        n = 256 * 1024
+        src = (f"double precision a({n}), b({n})\n"
+               f"forall (i=1:{n}) a(i) = i * 0.001d0\n"
+               "b = a * 2.0d0 + 1.0d0\n"
+               "b = b * a - 0.5d0\n"
+               "a = (a + b) / (b + 2.0d0)\nend")
+        f90y = compile_source(src).run(Machine(slicewise_model()))
+        cmf = compile_cmfortran(src).run(Machine(slicewise_model()))
+        slisp = compile_starlisp(src).run(Machine(fieldwise_model()))
+        assert f90y.stats.total_cycles <= cmf.stats.total_cycles
+        assert cmf.stats.total_cycles < slisp.stats.total_cycles
+
+    def test_atomizer_counts_operations(self):
+        from repro.frontend.parser import parse_program as pp
+        from repro.lowering import check_program, lower_program
+        from repro.transform import optimize, Options
+        from repro.transform.pipeline import unwrap_body
+
+        lowered = lower_program(pp(self.SRC))
+        check_program(lowered.nir, lowered.env)
+        tp = optimize(lowered, Options(block=False, fuse=False,
+                                       pad_masks=False))
+        atomizer = Atomizer(tp.env)
+        atomizer.atomize(unwrap_body(tp.nir))
+        assert atomizer.atomized_ops >= 3

@@ -1,0 +1,251 @@
+"""End-to-end correctness: full pipeline vs the numpy reference oracle.
+
+Every program compiles through parse → lower → check → transform →
+partition → PEAC/host code → machine simulation and must produce exactly
+the arrays the reference interpreter computes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.driver.compiler import CompilerOptions, compile_source
+from repro.driver.reference import run_reference
+from repro.frontend.parser import parse_program
+from repro.machine import Machine, fieldwise_model, slicewise_model
+from repro.programs import ALL_KERNELS, swe_source
+
+from .conftest import assert_matches_reference
+
+
+class TestWholeArrayPrograms:
+    def test_figure8_program(self):
+        assert_matches_reference(
+            "INTEGER K(16,8), L(16)\nL = 6\nK = 2*K + 5\nEND")
+
+    def test_scalar_and_array_mix(self):
+        assert_matches_reference(
+            "integer a(8)\ninteger x\nx = 3\na = a + x * 2\nend",
+            check_scalars=("x",))
+
+    def test_sections_with_strides(self):
+        assert_matches_reference(
+            "integer a(16)\n"
+            "a(1:16) = 1\na(2:16:2) = 5\na(1:15:2) = a(2:16:2) + 1\nend")
+
+    def test_misaligned_section_copy(self):
+        assert_matches_reference(
+            "integer a(16)\nforall (i=1:16) a(i) = i\n"
+            "a(1:8) = a(9:16)\nend")
+
+    def test_forall_full(self):
+        assert_matches_reference(
+            "integer, array(8,8) :: a\n"
+            "forall (i=1:8, j=1:8) a(i,j) = i*10 + j\nend")
+
+    def test_forall_partial_region(self):
+        assert_matches_reference(
+            "integer a(10)\nforall (i=3:7) a(i) = i*i\nend")
+
+    def test_forall_strided(self):
+        assert_matches_reference(
+            "integer a(10)\nforall (i=1:9:2) a(i) = i\nend")
+
+    def test_where_elsewhere(self):
+        assert_matches_reference(
+            "integer a(8), b(8)\nforall (i=1:8) b(i) = i\n"
+            "where (b > 4)\na = b\nelsewhere\na = -b\nend where\nend")
+
+    def test_where_self_update(self):
+        assert_matches_reference(
+            "integer a(8)\nforall (i=1:8) a(i) = i\n"
+            "where (a > 3)\na = a - 3\nelsewhere\na = a + 100\n"
+            "end where\nend")
+
+    def test_nested_where_mask_expression(self):
+        assert_matches_reference(
+            "integer a(8), b(8)\nforall (i=1:8) a(i) = i\n"
+            "where (mod(a, 2) == 0) b = a * a\nend")
+
+    def test_merge_intrinsic(self):
+        assert_matches_reference(
+            "integer a(8), b(8), c(8)\n"
+            "forall (i=1:8) a(i) = i\nb = 9 - a\n"
+            "c = merge(a, b, a > b)\nend")
+
+    def test_type_conversion_on_store(self):
+        assert_matches_reference(
+            "integer a(4)\ndouble precision d(4)\n"
+            "d = 2.7d0\na = d\nend")  # truncation toward zero
+
+    def test_integer_exponent(self):
+        assert_matches_reference("integer a(4)\na = 3\na = a**2\nend")
+
+    def test_double_precision_arithmetic(self):
+        assert_matches_reference(
+            "double precision x(8)\n"
+            "forall (i=1:8) x(i) = i * 0.25d0\n"
+            "x = sqrt(x) + exp(x) / (x + 1.0d0)\nend", rtol=1e-12)
+
+
+class TestCommunication:
+    def test_cshift_chain(self):
+        assert_matches_reference(
+            "integer v(12), z(12)\nforall (i=1:12) v(i) = i\n"
+            "z = cshift(v, 3) + cshift(v, -2)\nend")
+
+    def test_cshift_2d_both_dims(self):
+        assert_matches_reference(
+            "integer p(6,4), q(6,4)\nforall (i=1:6, j=1:4) p(i,j)=i*10+j\n"
+            "q = cshift(p, 1, 1) + cshift(p, -1, 2)\nend")
+
+    def test_double_cshift(self):
+        assert_matches_reference(
+            "integer p(6,6), q(6,6)\nforall (i=1:6, j=1:6) p(i,j)=i+j\n"
+            "q = cshift(cshift(p, -1, 1), -1, 2)\nend")
+
+    def test_eoshift(self):
+        assert_matches_reference(
+            "integer v(8), z(8)\nforall (i=1:8) v(i) = i\n"
+            "z = eoshift(v, 2)\nend")
+
+    def test_transpose(self):
+        assert_matches_reference(
+            "integer a(5,5), b(5,5)\nforall (i=1:5, j=1:5) a(i,j)=i*10+j\n"
+            "b = transpose(a)\nend")
+
+    def test_spread(self):
+        assert_matches_reference(
+            "integer v(4), m(3,4)\nforall (i=1:4) v(i) = i\n"
+            "m = spread(v, 1, 3)\nend")
+
+    def test_figure12_excerpt(self):
+        assert_matches_reference("""
+double precision, array(8,8) :: z, v, u, p
+double precision fsdx, fsdy
+fsdx = 0.04d0
+fsdy = 0.025d0
+forall (i=1:8, j=1:8) u(i,j) = i*0.1d0 + j*0.2d0
+forall (i=1:8, j=1:8) v(i,j) = i*0.3d0 - j*0.1d0
+forall (i=1:8, j=1:8) p(i,j) = 10.0d0 + mod(i+j, 7)
+z = (fsdx*(v - cshift(v, dim=1, shift=-1)) - fsdy*(u - cshift(u, dim=2, shift=-1))) / (p + cshift(p, dim=1, shift=-1))
+end""", rtol=1e-12)
+
+
+class TestReductionsAndControl:
+    def test_sum_to_scalar(self):
+        assert_matches_reference(
+            "integer a(8)\ninteger s\nforall (i=1:8) a(i) = i\n"
+            "s = sum(a)\nend", check_scalars=("s",))
+
+    def test_reduction_in_expression(self):
+        assert_matches_reference(
+            "double precision a(8)\ndouble precision m\na = 2.0d0\n"
+            "m = sum(a) / size(a)\nend", check_scalars=("m",))
+
+    def test_reduction_controls_branch(self):
+        assert_matches_reference(
+            "integer a(8)\ninteger s\nforall (i=1:8) a(i) = i\n"
+            "s = 0\nif (maxval(a) > 5) then\ns = 1\nelse\ns = 2\nendif\n"
+            "end", check_scalars=("s",))
+
+    def test_dimensional_reduction(self):
+        assert_matches_reference(
+            "integer a(4,6), r(6)\nforall (i=1:4, j=1:6) a(i,j) = i*j\n"
+            "r = sum(a, 1)\nend")
+
+    def test_serial_time_loop(self):
+        assert_matches_reference(
+            "integer a(8)\ninteger t\na = 1\n"
+            "do t = 1, 5\na = a * 2\nend do\nend")
+
+    def test_do_while_with_reduction(self):
+        assert_matches_reference(
+            "double precision a(8)\ndouble precision total\na = 1.0d0\n"
+            "total = 0.0d0\n"
+            "do while (total < 20.0d0)\na = a * 1.5d0\n"
+            "total = sum(a)\nend do\nend", check_scalars=("total",))
+
+    def test_serial_recurrence_on_host(self):
+        assert_matches_reference(
+            "integer a(8)\ninteger i\na(1) = 1\n"
+            "do 1 i=2,8\na(i) = a(i-1) * 2\n1 continue\nend")
+
+    def test_print_output_matches(self):
+        result, ref = assert_matches_reference(
+            "integer a(4)\ninteger s\na = 5\ns = sum(a)\nprint *, s\nend")
+        assert result.output == ref.output
+
+    def test_stop_halts_both(self):
+        result, ref = assert_matches_reference(
+            "integer a(4)\na = 1\nstop\na = 2\nend")
+        assert np.all(result.arrays["a"] == 1)
+
+
+class TestAllKernelsAllModels:
+    @pytest.mark.parametrize("kernel", sorted(ALL_KERNELS))
+    def test_optimized(self, kernel):
+        assert_matches_reference(ALL_KERNELS[kernel]())
+
+    @pytest.mark.parametrize("kernel", sorted(ALL_KERNELS))
+    def test_naive(self, kernel):
+        assert_matches_reference(ALL_KERNELS[kernel](),
+                                 CompilerOptions.naive())
+
+    @pytest.mark.parametrize("kernel", ["heat", "life", "where"])
+    def test_starlisp_model(self, kernel):
+        from repro.baselines import compile_starlisp
+        src = ALL_KERNELS[kernel]()
+        exe = compile_starlisp(src)
+        result = exe.run(Machine(fieldwise_model(64)))
+        ref = run_reference(parse_program(src))
+        for name, expected in ref.arrays.items():
+            np.testing.assert_allclose(result.arrays[name], expected,
+                                       rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("kernel", ["heat", "life", "where"])
+    def test_cmfortran_model(self, kernel):
+        from repro.baselines import compile_cmfortran
+        src = ALL_KERNELS[kernel]()
+        exe = compile_cmfortran(src)
+        result = exe.run(Machine(slicewise_model(64)))
+        ref = run_reference(parse_program(src))
+        for name, expected in ref.arrays.items():
+            np.testing.assert_allclose(result.arrays[name], expected,
+                                       rtol=1e-9, atol=1e-12)
+
+
+class TestSwe:
+    def test_swe_small_correct(self):
+        assert_matches_reference(swe_source(n=16, itmax=3), rtol=1e-9)
+
+    def test_swe_cm5_target_correct(self):
+        from repro.machine import cm5_model
+        src = swe_source(n=16, itmax=2)
+        exe = compile_source(src, CompilerOptions(target="cm5"))
+        result = exe.run(Machine(cm5_model(64)))
+        ref = run_reference(parse_program(src))
+        for name in ("u", "v", "p"):
+            np.testing.assert_allclose(result.arrays[name],
+                                       ref.arrays[name], rtol=1e-9)
+
+    def test_swe_energy_stays_bounded(self):
+        # A sanity check that the discretization is stable over a few
+        # steps (the scheme is the standard Sadourny C-grid).
+        result, _ = assert_matches_reference(swe_source(n=16, itmax=8))
+        assert np.isfinite(result.arrays["p"]).all()
+        assert result.arrays["p"].max() < 1.0e6
+
+
+class TestInputsOverride:
+    def test_run_with_preset_arrays(self):
+        src = "integer a(4), b(4)\nb = a * 2\nend"
+        exe = compile_source(src)
+        result = exe.run(Machine(slicewise_model(64)),
+                         inputs={"a": np.array([1, 2, 3, 4])})
+        np.testing.assert_array_equal(result.arrays["b"], [2, 4, 6, 8])
+
+    def test_reference_with_preset_arrays(self):
+        ref = run_reference(
+            parse_program("integer a(4), b(4)\nb = a * 2\nend"),
+            inputs={"a": np.array([1, 2, 3, 4])})
+        np.testing.assert_array_equal(ref.arrays["b"], [2, 4, 6, 8])

@@ -1,0 +1,80 @@
+"""Constant folding tests (compile-time shape arithmetic)."""
+
+import pytest
+
+from repro.frontend.parser import parse_expression
+from repro.lowering.fold import NotConstant, fold, fold_int, try_fold_int
+
+
+def f(src, params=None):
+    return fold(parse_expression(src), params or {})
+
+
+class TestFold:
+    def test_literals(self):
+        assert f("42") == 42
+        assert f("2.5") == 2.5
+        assert f(".true.") is True
+
+    def test_arithmetic(self):
+        assert f("2 + 3 * 4") == 14
+        assert f("(2 + 3) * 4") == 20
+        assert f("2 ** 10") == 1024
+
+    def test_integer_division_truncates(self):
+        assert f("7 / 2") == 3
+        assert f("-7 / 2") == -3  # toward zero, not floor
+
+    def test_float_division(self):
+        assert f("7.0 / 2") == 3.5
+
+    def test_unary(self):
+        assert f("-5") == -5
+        assert f(".not. .true.") is False
+
+    def test_relational(self):
+        assert f("3 > 2") is True
+        assert f("3 .le. 2") is False
+
+    def test_logical(self):
+        assert f(".true. .and. .false.") is False
+        assert f(".true. .or. .false.") is True
+        assert f(".true. .eqv. .true.") is True
+
+    def test_parameters(self):
+        assert f("n * 2", {"n": 32}) == 64
+
+    def test_unknown_var_raises(self):
+        with pytest.raises(NotConstant):
+            f("x + 1")
+
+    def test_intrinsics(self):
+        assert f("max(3, 7)") == 7
+        assert f("min(3, 7, 1)") == 1
+        assert f("abs(-4)") == 4
+        assert f("mod(7, 3)") == 1
+        assert f("sqrt(16.0)") == 4.0
+
+    def test_unfoldable_call(self):
+        with pytest.raises(NotConstant):
+            f("sum(a)")
+
+
+class TestFoldInt:
+    def test_int_result(self):
+        assert fold_int(parse_expression("4 * 8"), {}) == 32
+
+    def test_integral_float_ok(self):
+        assert fold_int(parse_expression("8.0"), {}) == 8
+
+    def test_fractional_rejected(self):
+        with pytest.raises(NotConstant):
+            fold_int(parse_expression("2.5"), {})
+
+    def test_bool_rejected(self):
+        with pytest.raises(NotConstant):
+            fold_int(parse_expression(".true."), {})
+
+    def test_try_fold_int_none(self):
+        assert try_fold_int(parse_expression("x"), {}) is None
+        assert try_fold_int(parse_expression("3+1"), {}) == 4

@@ -1,0 +1,151 @@
+"""Lexer tests: tokens, literals, continuations, comments."""
+
+import pytest
+
+from repro.frontend.lexer import LexError, tokenize
+from repro.frontend.tokens import TokKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind not in
+            (TokKind.NEWLINE, TokKind.EOF)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind not in
+            (TokKind.NEWLINE, TokKind.EOF)]
+
+
+class TestBasicTokens:
+    def test_identifiers(self):
+        assert texts("foo Bar_2 _x") == ["foo", "Bar_2", "_x"]
+        assert all(k is TokKind.IDENT for k in kinds("foo Bar_2 _x"))
+
+    def test_integer_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokKind.INT
+        assert toks[0].text == "42"
+
+    def test_real_literal_plain(self):
+        assert tokenize("3.25")[0].kind is TokKind.REAL
+
+    def test_real_literal_exponent(self):
+        assert tokenize("1.5e-3")[0].kind is TokKind.REAL
+        assert tokenize("2E6")[0].kind is TokKind.REAL
+
+    def test_double_literal(self):
+        assert tokenize("1.0d0")[0].kind is TokKind.DREAL
+        assert tokenize("4D-2")[0].kind is TokKind.DREAL
+
+    def test_string_literal(self):
+        toks = tokenize("'hello world'")
+        assert toks[0].kind is TokKind.STRING
+        assert toks[0].text == "hello world"
+
+    def test_double_quoted_string(self):
+        assert tokenize('"abc"')[0].text == "abc"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_logical_literals(self):
+        toks = tokenize(".true. .false.")
+        assert [t.kind for t in toks[:2]] == [TokKind.LOGICAL] * 2
+        assert [t.text for t in toks[:2]] == ["true", "false"]
+
+
+class TestOperators:
+    def test_multichar_operators(self):
+        assert texts("a ** b == c /= d") == \
+            ["a", "**", "b", "==", "c", "/=", "d"]
+
+    def test_double_colon(self):
+        assert "::" in texts("integer :: x")
+
+    def test_dot_operators_canonicalized(self):
+        assert texts("a .eq. b") == ["a", "==", "b"]
+        assert texts("a .GE. b") == ["a", ">=", "b"]
+        assert texts("a .and. b .or. c") == ["a", ".and.", "b", ".or.", "c"]
+
+    def test_dot_not(self):
+        assert ".not." in texts(".not. x")
+
+    def test_relational_le(self):
+        assert texts("a <= b") == ["a", "<=", "b"]
+
+    def test_number_adjacent_dot_operator(self):
+        # "1.eq.2" must lex as INT OP INT, not a real literal.
+        toks = tokenize("1.eq.2")
+        assert [t.kind for t in toks[:3]] == \
+            [TokKind.INT, TokKind.OP, TokKind.INT]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestLinesAndComments:
+    def test_newline_tokens_separate_statements(self):
+        toks = tokenize("a = 1\nb = 2")
+        newlines = [t for t in toks if t.kind is TokKind.NEWLINE]
+        assert len(newlines) == 2
+
+    def test_semicolon_separates_statements(self):
+        toks = tokenize("a = 1; b = 2")
+        newlines = [t for t in toks if t.kind is TokKind.NEWLINE]
+        assert len(newlines) >= 2
+
+    def test_bang_comment_stripped(self):
+        assert texts("a = 1  ! a comment") == ["a", "=", "1"]
+
+    def test_bang_inside_string_kept(self):
+        toks = tokenize("s = 'a!b'")
+        assert toks[2].text == "a!b"
+
+    def test_star_comment_line(self):
+        assert texts("* full line comment\na = 1") == ["a", "=", "1"]
+
+    def test_c_named_variable_not_comment(self):
+        # 'C = n + 1' is an assignment, not a fixed-form comment.
+        assert texts("C = n + 1") == ["C", "=", "n", "+", "1"]
+
+    def test_trailing_ampersand_continuation(self):
+        assert texts("a = 1 + &\n    2") == ["a", "=", "1", "+", "2"]
+
+    def test_leading_ampersand_continuation(self):
+        assert texts("a = 1 + &\n    & 2") == ["a", "=", "1", "+", "2"]
+
+    def test_blank_lines_skipped(self):
+        toks = tokenize("\n\na = 1\n\n")
+        assert texts("\n\na = 1\n\n") == ["a", "=", "1"]
+        assert toks[-1].kind is TokKind.EOF
+
+    def test_line_numbers_reported(self):
+        toks = tokenize("a = 1\nbb = 2")
+        b_tok = [t for t in toks if t.text == "bb"][0]
+        assert b_tok.line == 2
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind is TokKind.EOF
+        assert tokenize("x")[-1].kind is TokKind.EOF
+
+
+class TestNumericEdgeCases:
+    def test_integer_then_colon(self):
+        # Section syntax 1:32 must not glom into a real.
+        toks = tokenize("1:32")
+        assert [t.kind for t in toks[:3]] == \
+            [TokKind.INT, TokKind.OP, TokKind.INT]
+
+    def test_real_with_trailing_dot(self):
+        assert tokenize("2.")[0].kind is TokKind.REAL
+
+    def test_leading_dot_fraction(self):
+        assert tokenize(".5")[0].kind is TokKind.REAL
+
+    def test_exponent_requires_digits(self):
+        # '2e' is INT followed by IDENT, not an exponent.
+        toks = tokenize("2e")
+        assert toks[0].kind is TokKind.INT
+        assert toks[1].kind is TokKind.IDENT

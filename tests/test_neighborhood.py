@@ -1,0 +1,136 @@
+"""Tests for the §5.3.2 neighborhood computation model.
+
+"A more flexible model would allow the compiler to pipeline
+communication and computation, or perform general neighborhood
+computations directly, using the full register set to store intermediate
+results and performing physical communications as required."
+"""
+
+import numpy as np
+import pytest
+
+from repro import nir
+from repro.driver.compiler import CompilerOptions, compile_source
+from repro.driver.reference import run_reference
+from repro.frontend.parser import parse_program
+from repro.machine import Machine, slicewise_model
+from repro.programs import ALL_KERNELS
+from repro.programs.kernels import heat_source
+from repro.programs.swe import swe_source
+from repro.runtime import host as h
+
+NB = CompilerOptions.neighborhood()
+
+
+def run_nb(src, machine=None):
+    exe = compile_source(src, NB)
+    return exe, exe.run(machine or Machine(slicewise_model(64)))
+
+
+class TestStructure:
+    def test_cshift_stays_in_compute_block(self):
+        src = ("double precision t(32,32), u(32,32)\n"
+               "u = t + cshift(t, 1, 1)\nend")
+        exe, _ = run_nb(src)
+        # No separate communication phase; one node call with a halo arg.
+        comm_ops = [op for op in exe.host_program.ops
+                    if isinstance(op, h.CommMove)]
+        assert not comm_ops
+        call = [op for op in exe.host_program.ops
+                if isinstance(op, h.NodeCall)][0]
+        halos = [a for a in call.args if a.kind == "halo"]
+        assert len(halos) == 1
+        assert halos[0].shift == 1 and halos[0].axis == 1
+
+    def test_standard_model_still_hoists(self):
+        src = ("double precision t(32,32), u(32,32)\n"
+               "u = t + cshift(t, 1, 1)\nend")
+        exe = compile_source(src)
+        comm_ops = [op for op in exe.host_program.ops
+                    if isinstance(op, h.CommMove)]
+        assert comm_ops
+
+    def test_repeated_shift_shares_one_halo_stream(self):
+        src = ("double precision t(32,32), u(32,32)\n"
+               "u = cshift(t, 1, 1) * cshift(t, 1, 1) + cshift(t, 1, 1)\n"
+               "end")
+        exe, _ = run_nb(src)
+        call = [op for op in exe.host_program.ops
+                if isinstance(op, h.NodeCall)][0]
+        halos = [a for a in call.args if a.kind == "halo"]
+        assert len(halos) == 1
+
+    def test_distinct_shifts_distinct_streams(self):
+        src = ("double precision t(32,32), u(32,32)\n"
+               "u = cshift(t, 1, 1) + cshift(t, -1, 1) + cshift(t, 1, 2)\n"
+               "end")
+        exe, _ = run_nb(src)
+        call = [op for op in exe.host_program.ops
+                if isinstance(op, h.NodeCall)][0]
+        halos = [a for a in call.args if a.kind == "halo"]
+        assert len(halos) == 3
+
+    def test_double_shift_partially_hoisted(self):
+        # The inner shift of cshift(cshift(t,1,1),1,2) still needs a
+        # temporary; only plain whole-array shifts become halos.
+        src = ("double precision t(16,16), u(16,16)\n"
+               "u = cshift(cshift(t, 1, 1), 1, 2)\nend")
+        exe, res = run_nb(src)
+        ref = run_reference(parse_program(src))
+        np.testing.assert_allclose(res.arrays["u"], ref.arrays["u"])
+
+    def test_fusion_blocked_across_halo_of_written_array(self):
+        # u is written, then v reads a halo of u: the two moves must not
+        # fuse into one block (the halo must see the post-store u).
+        src = ("double precision u(32,32), v(32,32)\n"
+               "u = u + 1.0d0\n"
+               "v = cshift(u, 1, 1)\n"
+               "v = v * 2.0d0\nend")
+        exe, res = run_nb(src)
+        ref = run_reference(parse_program(src))
+        np.testing.assert_allclose(res.arrays["v"], ref.arrays["v"])
+        np.testing.assert_allclose(res.arrays["u"], ref.arrays["u"])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kernel", sorted(ALL_KERNELS))
+    def test_all_kernels_match_reference(self, kernel):
+        src = ALL_KERNELS[kernel]()
+        _, res = run_nb(src)
+        ref = run_reference(parse_program(src))
+        for name, expected in ref.arrays.items():
+            np.testing.assert_allclose(res.arrays[name], expected,
+                                       rtol=1e-9, atol=1e-12)
+
+    def test_swe_matches_reference(self):
+        src = swe_source(n=16, itmax=3)
+        _, res = run_nb(src)
+        ref = run_reference(parse_program(src))
+        for name in ("u", "v", "p"):
+            np.testing.assert_allclose(res.arrays[name], ref.arrays[name],
+                                       rtol=1e-9)
+
+    def test_self_shift_update(self):
+        # u = cshift(u) + u: the halo snapshots u before the store.
+        src = ("integer u(16)\nforall (i=1:16) u(i) = i\n"
+               "u = cshift(u, 1) + u\nend")
+        _, res = run_nb(src)
+        ref = run_reference(parse_program(src))
+        np.testing.assert_array_equal(res.arrays["u"], ref.arrays["u"])
+
+
+class TestPerformance:
+    def test_heat_stencil_faster_with_halos(self):
+        src = heat_source(256, 4)
+        std = compile_source(src).run(Machine(slicewise_model()))
+        nb = compile_source(src, NB).run(Machine(slicewise_model()))
+        assert nb.stats.total_cycles < std.stats.total_cycles
+        # The halo exchange moves only boundaries: less comm than full
+        # CSHIFT copies.
+        assert nb.stats.comm_cycles < std.stats.comm_cycles
+
+    def test_halo_charges_communication(self):
+        src = ("double precision t(64,64), u(64,64)\n"
+               "u = cshift(t, 1, 1) + t\nend")
+        _, res = run_nb(src, Machine(slicewise_model()))
+        assert res.stats.comm_cycles > 0

@@ -1,0 +1,277 @@
+"""Core NIR domain tests: types, values, declarations, imperatives."""
+
+import numpy as np
+import pytest
+
+from repro import nir
+from repro.nir.types import TypeError_
+
+
+class TestTypes:
+    def test_scalar_kinds(self):
+        assert nir.INTEGER_32.is_integer
+        assert nir.LOGICAL_32.is_logical
+        assert nir.FLOAT_32.is_float and nir.FLOAT_64.is_float
+
+    def test_bits(self):
+        assert nir.FLOAT_64.bits == 64
+        assert nir.INTEGER_32.bits == 32
+
+    def test_dtypes(self):
+        assert nir.FLOAT_64.dtype == np.dtype(np.float64)
+        assert nir.INTEGER_32.dtype == np.dtype(np.int32)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TypeError_):
+            nir.ScalarType("float_128")
+
+    def test_dfield_str(self):
+        t = nir.DField(nir.DomainRef("alpha"), nir.INTEGER_32)
+        assert "dfield" in str(t)
+        assert "alpha" in str(t)
+
+    def test_dfield_validation(self):
+        with pytest.raises(TypeError_):
+            nir.DField("not a shape", nir.INTEGER_32)  # type: ignore
+
+    def test_base_element_nested(self):
+        t = nir.DField(nir.Interval(1, 2),
+                       nir.DField(nir.Interval(1, 3), nir.FLOAT_32))
+        assert nir.base_element(t) == nir.FLOAT_32
+
+    def test_full_shape_nested_cross_product(self):
+        t = nir.DField(nir.Interval(1, 2),
+                       nir.DField(nir.Interval(1, 3), nir.FLOAT_32))
+        assert nir.extents(nir.full_shape(t)) == (2, 3)
+
+    def test_full_shape_scalar_none(self):
+        assert nir.full_shape(nir.FLOAT_64) is None
+
+    def test_join_arith_promotion(self):
+        assert nir.join_arith(nir.INTEGER_32, nir.FLOAT_64) == nir.FLOAT_64
+        assert nir.join_arith(nir.FLOAT_32, nir.INTEGER_32) == nir.FLOAT_32
+        assert nir.join_arith(nir.INTEGER_32, nir.INTEGER_32) \
+            == nir.INTEGER_32
+
+    def test_flop_weight(self):
+        assert nir.flop_weight(nir.FLOAT_64) == 1
+        assert nir.flop_weight(nir.INTEGER_32) == 0
+
+
+class TestValues:
+    def test_scalar_pyvalue(self):
+        assert nir.int_const(7).pyvalue == 7
+        assert nir.float_const(2.5).pyvalue == 2.5
+        assert nir.TRUE.pyvalue is True
+
+    def test_svar_str(self):
+        assert str(nir.SVar("x")) == "SVAR 'x'"
+
+    def test_avar_default_everywhere(self):
+        a = nir.AVar("k")
+        assert isinstance(a.field, nir.Everywhere)
+        assert "everywhere" in str(a)
+
+    def test_binary_str_matches_paper(self):
+        v = nir.Binary(nir.BinOp.ADD, nir.SVar("a"), nir.SVar("b"))
+        assert str(v) == "BINARY(Add, SVAR 'a', SVAR 'b')"
+
+    def test_local_under_axis_validation(self):
+        with pytest.raises(ValueError):
+            nir.LocalUnder(nir.Interval(1, 4), 0)
+
+    def test_subscript_str(self):
+        s = nir.Subscript((nir.SVar("i"), nir.IndexRange(None, None)))
+        assert "subscript" in str(s)
+
+    def test_index_range_str(self):
+        r = nir.IndexRange(nir.int_const(1), nir.int_const(9),
+                           nir.int_const(2))
+        assert ":" in str(r)
+
+    def test_children_binary(self):
+        v = nir.Binary(nir.BinOp.MUL, nir.SVar("a"), nir.int_const(2))
+        assert len(nir.values.children(v)) == 2
+
+    def test_scalar_vars_collect(self):
+        v = nir.Binary(nir.BinOp.ADD, nir.SVar("a"),
+                       nir.Unary(nir.UnOp.SIN, nir.SVar("c")))
+        assert nir.scalar_vars(v) == {"a", "c"}
+
+    def test_array_vars_collect(self):
+        v = nir.FcnCall("cshift", (nir.AVar("v"), nir.int_const(-1),
+                                   nir.int_const(1)))
+        assert nir.array_vars(v) == {"v"}
+
+    def test_array_vars_in_subscripts(self):
+        v = nir.AVar("a", nir.Subscript((nir.SVar("i"),)))
+        assert nir.scalar_vars(v) == {"i"}
+
+    def test_is_constant(self):
+        assert nir.is_constant(
+            nir.Binary(nir.BinOp.ADD, nir.int_const(1), nir.int_const(2)))
+        assert not nir.is_constant(nir.SVar("x"))
+
+    def test_binop_classes(self):
+        assert nir.BinOp.ADD.is_arithmetic
+        assert nir.BinOp.LT.is_relational
+        assert nir.BinOp.AND.is_logical
+        assert nir.BinOp.MUL.is_commutative
+        assert not nir.BinOp.SUB.is_commutative
+
+    def test_unop_classes(self):
+        assert nir.UnOp.SIN.is_transcendental
+        assert nir.UnOp.TO_INT.is_conversion
+        assert not nir.UnOp.NEG.is_transcendental
+
+
+class TestDeclarations:
+    def test_decl_str_matches_paper(self):
+        d = nir.Decl("m", nir.FLOAT_64)
+        assert str(d) == "DECL('m', float_64)"
+
+    def test_declset_bindings(self):
+        ds = nir.DeclSet((nir.Decl("m", nir.FLOAT_64),
+                          nir.Decl("n", nir.FLOAT_64)))
+        assert nir.bindings(ds) == [("m", nir.FLOAT_64),
+                                    ("n", nir.FLOAT_64)]
+
+    def test_initialized(self):
+        d = nir.Initialized("n", nir.INTEGER_32, nir.int_const(64))
+        assert nir.initial_values(d) == {"n": nir.int_const(64)}
+
+    def test_nested_declsets_flatten(self):
+        inner = nir.DeclSet((nir.Decl("a", nir.INTEGER_32),))
+        outer = nir.DeclSet((inner, nir.Decl("b", nir.FLOAT_32)))
+        assert [n for n, _ in nir.bindings(outer)] == ["a", "b"]
+
+
+class TestImperatives:
+    def test_move_clause_unconditional(self):
+        m = nir.move1(nir.int_const(6), nir.AVar("l"))
+        assert m.clauses[0].is_unconditional
+
+    def test_masked_clause(self):
+        mask = nir.Binary(nir.BinOp.GT, nir.AVar("a"), nir.int_const(3))
+        m = nir.move1(nir.int_const(0), nir.AVar("a"), mask)
+        assert not m.clauses[0].is_unconditional
+
+    def test_seq_flattens(self):
+        s = nir.seq(nir.Skip(), nir.seq(nir.Skip(), nir.move1(
+            nir.int_const(1), nir.SVar("x"))), nir.Skip())
+        assert isinstance(s, nir.Move)
+
+    def test_seq_empty_is_skip(self):
+        assert isinstance(nir.seq(), nir.Skip)
+        assert isinstance(nir.seq(nir.Skip(), nir.Skip()), nir.Skip)
+
+    def test_seq_preserves_order(self):
+        m1 = nir.move1(nir.int_const(1), nir.SVar("x"))
+        m2 = nir.move1(nir.int_const(2), nir.SVar("y"))
+        s = nir.seq(m1, m2)
+        assert s.actions == (m1, m2)
+
+    def test_do_carries_index_names(self):
+        d = nir.Do(nir.SerialInterval(1, 4),
+                   nir.move1(nir.int_const(0), nir.SVar("x")),
+                   index_names=("i",))
+        assert d.index_names == ("i",)
+
+    def test_child_imperatives(self):
+        body = nir.move1(nir.int_const(0), nir.SVar("x"))
+        node = nir.WithDomain("alpha", nir.Interval(1, 4), body)
+        assert nir.imperatives.child_imperatives(node) == (body,)
+
+    def test_values_of_move(self):
+        m = nir.move1(nir.SVar("a"), nir.SVar("b"))
+        vals = nir.imperatives.values_of(m)
+        assert nir.SVar("a") in vals and nir.SVar("b") in vals
+
+    def test_walk_traverses_nesting(self):
+        body = nir.move1(nir.int_const(0), nir.SVar("x"))
+        prog = nir.Program(nir.WithDecl(
+            nir.DeclSet((nir.Decl("x", nir.INTEGER_32),)), body))
+        nodes = list(nir.imperatives.walk(prog))
+        assert body in nodes
+
+    def test_ifthenelse_default_else_is_skip(self):
+        node = nir.IfThenElse(nir.TRUE, nir.Skip())
+        assert isinstance(node.els, nir.Skip)
+
+
+class TestVisitor:
+    def test_count_nodes(self):
+        v = nir.Binary(nir.BinOp.ADD, nir.SVar("a"),
+                       nir.Binary(nir.BinOp.MUL, nir.SVar("b"),
+                                  nir.SVar("c")))
+        m = nir.move1(v, nir.SVar("d"))
+        assert nir.count_nodes(m, nir.Binary) == 2
+        assert nir.count_nodes(m, nir.SVar) == 4
+
+    def test_collect_preorder(self):
+        v = nir.Binary(nir.BinOp.ADD, nir.SVar("a"), nir.SVar("b"))
+        svars = nir.collect(v, nir.SVar)
+        assert [s.name for s in svars] == ["a", "b"]
+
+    def test_substitute_svars(self):
+        v = nir.Binary(nir.BinOp.ADD, nir.SVar("i"), nir.int_const(1))
+        out = nir.substitute_svars(v, {"i": nir.int_const(5)})
+        assert out == nir.Binary(nir.BinOp.ADD, nir.int_const(5),
+                                 nir.int_const(1))
+
+    def test_substitute_untouched_shares_structure(self):
+        v = nir.Binary(nir.BinOp.ADD, nir.SVar("a"), nir.SVar("b"))
+        out = nir.substitute_svars(v, {"z": nir.int_const(1)})
+        assert out is v
+
+    def test_rename_domains(self):
+        node = nir.WithDomain(
+            "alpha", nir.Interval(1, 4),
+            nir.Do(nir.DomainRef("alpha"), nir.Skip()))
+        out = nir.rename_domains(node, {"alpha": "beta"})
+        assert out.name == "beta"
+        assert out.body.shape == nir.DomainRef("beta")
+
+    def test_transform_bottom_up_rebuilds(self):
+        v = nir.Binary(nir.BinOp.ADD, nir.int_const(1), nir.int_const(2))
+
+        def fold(node):
+            if isinstance(node, nir.Binary) \
+                    and isinstance(node.left, nir.Scalar) \
+                    and isinstance(node.right, nir.Scalar):
+                return nir.int_const(node.left.rep + node.right.rep)
+            return node
+
+        assert nir.transform_bottom_up(v, fold) == nir.int_const(3)
+
+    def test_walk_all_crosses_domains(self):
+        m = nir.move1(nir.AVar("a"), nir.AVar("b"))
+        prog = nir.WithDomain("alpha", nir.Interval(1, 4), m)
+        kinds = {type(n).__name__ for n in nir.walk_all(prog)}
+        assert {"WithDomain", "Interval", "Move", "MoveClause",
+                "AVar", "Everywhere"} <= kinds
+
+
+class TestPretty:
+    def test_pretty_figure8_style(self):
+        body = nir.Move((
+            nir.MoveClause(nir.TRUE, nir.int_const(6), nir.AVar("l")),
+        ))
+        prog = nir.WithDomain("alpha", nir.Interval(1, 128), body)
+        text = nir.pretty(prog)
+        assert "WITH_DOMAIN(('alpha'" in text
+        assert "MOVE[(True, (SCALAR(integer_32,'6'), "\
+            "AVAR('l', everywhere)))]" in text
+
+    def test_pretty_sequentially_layout(self):
+        s = nir.Sequentially((nir.Skip(), nir.Skip()))
+        text = nir.pretty(s)
+        assert text.startswith("SEQUENTIALLY")
+        assert "SKIP" in text
+
+    def test_pretty_value(self):
+        assert nir.pretty(nir.SVar("x")) == "SVAR 'x'"
+
+    def test_pretty_rejects_non_nodes(self):
+        with pytest.raises(TypeError):
+            nir.pretty(42)

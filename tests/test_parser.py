@@ -1,0 +1,298 @@
+"""Parser tests: declarations, statements, expressions, paper examples."""
+
+import pytest
+
+from repro.frontend import ast_nodes as A
+from repro.frontend.parser import (
+    ParseError,
+    parse_expression,
+    parse_program,
+    parse_statements,
+)
+
+
+class TestProgramStructure:
+    def test_program_unit_name(self):
+        unit = parse_program("program foo\nend program foo")
+        assert unit.name == "foo"
+        assert unit.body == ()
+
+    def test_bare_end(self):
+        unit = parse_program("x = 1\nend")
+        assert unit.name == "main"
+        assert len(unit.body) == 1
+
+    def test_end_program_without_name(self):
+        unit = parse_program("program p\nend program")
+        assert unit.name == "p"
+
+    def test_declarations_precede_statements(self):
+        unit = parse_program("integer x\nx = 1\nend")
+        assert len(unit.decls) == 1
+        assert len(unit.body) == 1
+
+
+class TestDeclarations:
+    def test_old_style_array_decl(self):
+        unit = parse_program("INTEGER K(128,64), L(128)\nend")
+        decl = unit.decls[0]
+        assert decl.base == "integer"
+        assert decl.entities[0].name == "k"
+        assert len(decl.entities[0].dims) == 2
+        assert decl.entities[1].name == "l"
+
+    def test_array_attribute(self):
+        unit = parse_program("integer, array(32,32) :: A, B\nend")
+        decl = unit.decls[0]
+        assert len(decl.dims) == 2
+        assert [e.name for e in decl.entities] == ["a", "b"]
+
+    def test_dimension_attribute(self):
+        unit = parse_program("real, dimension(10) :: x\nend")
+        assert len(unit.decls[0].dims) == 1
+
+    def test_double_precision(self):
+        unit = parse_program("double precision m, n\nend")
+        assert unit.decls[0].base == "double"
+
+    def test_real_kind8_is_double(self):
+        unit = parse_program("real(kind=8) :: x\nend")
+        assert unit.decls[0].base == "double"
+
+    def test_parameter_attribute(self):
+        unit = parse_program("integer, parameter :: n = 64\nend")
+        decl = unit.decls[0]
+        assert decl.parameter
+        assert decl.entities[0].init is not None
+
+    def test_f77_parameter_statement(self):
+        unit = parse_program("INTEGER N\nPARAMETER (N=64)\nx = 1\nend")
+        assert unit.decls[0].parameter
+        assert isinstance(unit.decls[0].entities[0].init, A.IntLit)
+
+    def test_logical_decl(self):
+        unit = parse_program("logical flag\nend")
+        assert unit.decls[0].base == "logical"
+
+    def test_entity_with_own_dims(self):
+        unit = parse_program("integer :: a(5), b\nend")
+        assert unit.decls[0].entities[0].dims
+        assert not unit.decls[0].entities[1].dims
+
+
+class TestStatements:
+    def test_simple_assignment(self):
+        (stmt,) = parse_statements("x = 1 + 2")
+        assert isinstance(stmt, A.Assignment)
+        assert isinstance(stmt.target, A.VarRef)
+
+    def test_array_element_assignment(self):
+        (stmt,) = parse_statements("a(i, j) = 0")
+        assert isinstance(stmt.target, A.ArrayRef)
+
+    def test_section_assignment(self):
+        (stmt,) = parse_statements("k(32:64,:) = k(32:64,:)**2")
+        subs = stmt.target.subscripts
+        assert isinstance(subs[0], A.SectionRange)
+        assert isinstance(subs[1], A.SectionRange)
+        assert subs[1].lo is None and subs[1].hi is None
+
+    def test_strided_section(self):
+        (stmt,) = parse_statements("b(1:32:2,:) = 0")
+        rng = stmt.target.subscripts[0]
+        assert isinstance(rng.stride, A.IntLit)
+        assert rng.stride.value == 2
+
+    def test_labelled_do_with_continue(self):
+        (loop,) = parse_statements(
+            "DO 10 I=1,128\n  L(I) = 6\n10 CONTINUE")
+        assert isinstance(loop, A.DoLoop)
+        assert loop.var == "i"
+        assert len(loop.body) == 1
+
+    def test_nested_labelled_dos(self):
+        (outer,) = parse_statements(
+            "DO 10 I=1,4\nDO 20 J=1,4\nK(I,J)=0\n20 CONTINUE\n10 CONTINUE")
+        assert isinstance(outer.body[0], A.DoLoop)
+
+    def test_block_do_end_do(self):
+        (loop,) = parse_statements("do i = 1, 10, 2\n x = i\nend do")
+        assert isinstance(loop.step, A.IntLit)
+        assert loop.step.value == 2
+
+    def test_do_while(self):
+        (loop,) = parse_statements("do while (x < 4)\n x = x + 1\nend do")
+        assert isinstance(loop, A.DoWhile)
+
+    def test_missing_do_terminator_raises(self):
+        with pytest.raises(ParseError):
+            parse_statements("DO 10 I=1,4\nx = 1")
+
+    def test_if_then_else_chain(self):
+        (stmt,) = parse_statements(
+            "if (a > 1) then\n x=1\nelse if (a > 0) then\n x=2\n"
+            "else\n x=3\nend if")
+        assert isinstance(stmt, A.IfConstruct)
+        assert len(stmt.arms) == 2
+        assert len(stmt.else_body) == 1
+
+    def test_logical_if_one_liner(self):
+        (stmt,) = parse_statements("if (x == 0) y = 1")
+        assert isinstance(stmt, A.IfConstruct)
+        assert stmt.else_body == ()
+
+    def test_endif_one_word(self):
+        (stmt,) = parse_statements("if (a > 1) then\n x=1\nendif")
+        assert isinstance(stmt, A.IfConstruct)
+
+    def test_where_construct(self):
+        (stmt,) = parse_statements(
+            "where (a > 3)\n a = a - 1\nelsewhere\n a = 0\nend where")
+        assert isinstance(stmt, A.WhereConstruct)
+        assert len(stmt.body) == 1
+        assert len(stmt.elsewhere) == 1
+
+    def test_where_statement_form(self):
+        (stmt,) = parse_statements("where (m) a = 0")
+        assert isinstance(stmt, A.WhereConstruct)
+        assert stmt.elsewhere == ()
+
+    def test_where_rejects_non_assignment(self):
+        with pytest.raises(ParseError):
+            parse_statements("where (m)\n do i=1,2\n end do\nend where")
+
+    def test_forall_statement(self):
+        (stmt,) = parse_statements("FORALL (i=1:32, j=1:32) A(i,j) = i+j")
+        assert isinstance(stmt, A.ForallStmt)
+        assert [t.var for t in stmt.triplets] == ["i", "j"]
+
+    def test_forall_with_stride(self):
+        (stmt,) = parse_statements("forall (i=1:9:2) a(i) = 0")
+        assert stmt.triplets[0].stride.value == 2
+
+    def test_forall_with_mask(self):
+        (stmt,) = parse_statements("forall (i=1:9, i > 2) a(i) = 0")
+        assert stmt.mask is not None
+
+    def test_print_statement(self):
+        (stmt,) = parse_statements("print *, x, y + 1")
+        assert isinstance(stmt, A.PrintStmt)
+        assert len(stmt.items) == 2
+
+    def test_stop_statement(self):
+        (stmt,) = parse_statements("stop")
+        assert isinstance(stmt, A.StopStmt)
+
+    def test_call_statement(self):
+        (stmt,) = parse_statements("call foo(1, x)")
+        assert isinstance(stmt, A.CallStmt)
+        assert stmt.name == "foo"
+        assert len(stmt.args) == 2
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, A.BinExpr) and e.op == "+"
+        assert isinstance(e.right, A.BinExpr) and e.right.op == "*"
+
+    def test_power_right_associative(self):
+        e = parse_expression("2 ** 3 ** 2")
+        assert e.op == "**"
+        assert isinstance(e.right, A.BinExpr) and e.right.op == "**"
+
+    def test_unary_minus_binds_looser_than_power(self):
+        e = parse_expression("-a**2")
+        assert isinstance(e, A.UnExpr) and e.op == "-"
+        assert isinstance(e.operand, A.BinExpr) and e.operand.op == "**"
+
+    def test_relational_below_arith(self):
+        e = parse_expression("a + 1 > b * 2")
+        assert e.op == ">"
+
+    def test_logical_precedence(self):
+        e = parse_expression("a .or. b .and. c")
+        assert e.op == ".or."
+        assert e.right.op == ".and."
+
+    def test_not_precedence(self):
+        e = parse_expression(".not. a .and. b")
+        assert e.op == ".and."
+        assert isinstance(e.left, A.UnExpr)
+
+    def test_parentheses(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_keyword_arguments(self):
+        e = parse_expression("cshift(v, dim=1, shift=-1)")
+        assert isinstance(e, A.ArrayRef)
+        kwargs = [a for a in e.subscripts if isinstance(a, A.KeywordArg)]
+        assert {k.name for k in kwargs} == {"dim", "shift"}
+
+    def test_nested_calls(self):
+        e = parse_expression("cshift(cshift(p, 1, 1), 1, 2)")
+        assert isinstance(e.subscripts[0], A.ArrayRef)
+
+    def test_double_literal_flag(self):
+        e = parse_expression("1.5d0")
+        assert isinstance(e, A.RealLit) and e.double
+
+    def test_logical_literal(self):
+        e = parse_expression(".true.")
+        assert isinstance(e, A.LogicalLit) and e.value is True
+
+    def test_eqv_operator(self):
+        e = parse_expression("a .eqv. b")
+        assert e.op == ".eqv."
+
+    def test_dot_relational_forms(self):
+        e = parse_expression("x .ge. y")
+        assert e.op == ">="
+
+    def test_error_position(self):
+        with pytest.raises(ParseError, match="line"):
+            parse_expression("1 +")
+
+
+class TestPaperExamples:
+    """The source fragments shown in the paper parse intact."""
+
+    def test_section_21_deck(self):
+        unit = parse_program("""
+INTEGER K(128,64), L(128)
+DO 10 I=1,128
+   L(I) = 6
+   DO 20 J=1,64
+      K(I,J) = 2*K(I,J) + 5
+20 CONTINUE
+10 CONTINUE
+END
+""")
+        assert isinstance(unit.body[0], A.DoLoop)
+
+    def test_section_21_f90_replacement(self):
+        unit = parse_program("INTEGER K(128,64), L(128)\nL = 6\n"
+                             "K = 2*K + 5\nEND")
+        assert len(unit.body) == 2
+
+    def test_section_21_sections(self):
+        unit = parse_program(
+            "INTEGER K(128,64), L(128)\n"
+            "L(32:64) = L(96:128)\nK(32:64,:) = K(32:64,:)**2\nEND")
+        assert len(unit.body) == 2
+
+    def test_figure_7_forall(self):
+        unit = parse_program(
+            "INTEGER, ARRAY(32,32) :: A\n"
+            "FORALL (i=1:32, j=1:32) A(i,j) = i+j\nEND")
+        assert isinstance(unit.body[0], A.ForallStmt)
+
+    def test_figure_12_swe_excerpt(self):
+        unit = parse_program(
+            "double precision, array(8,8) :: z, v, u, p, tmp\n"
+            "double precision fsdx, fsdy\n"
+            "z = (fsdx*(v - CSHIFT(v, DIM=1, SHIFT=-1)) "
+            "- fsdy*(u - CSHIFT(u, DIM=2, SHIFT=-1))) / (p + tmp)\nend")
+        assert isinstance(unit.body[0], A.Assignment)

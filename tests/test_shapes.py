@@ -1,0 +1,177 @@
+"""Shape-domain tests: constructors, algebra, conformance, iteration."""
+
+import pytest
+
+from repro import nir
+from repro.nir.shapes import ShapeError
+
+
+class TestConstructors:
+    def test_point(self):
+        assert nir.Point(5).value == 5
+        assert str(nir.Point(5)) == "point 5"
+
+    def test_interval_str(self):
+        assert str(nir.Interval(1, 32)) == "interval(point 1..point 32)"
+
+    def test_strided_interval_str(self):
+        assert "by 2" in str(nir.Interval(1, 31, 2))
+
+    def test_serial_interval(self):
+        s = nir.SerialInterval(1, 8)
+        assert "serial_interval" in str(s)
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ShapeError):
+            nir.Interval(1, 8, 0)
+
+    def test_prod_dom_needs_dims(self):
+        with pytest.raises(ShapeError):
+            nir.ProdDom(())
+
+    def test_prod_dom_of_shapes_only(self):
+        with pytest.raises(ShapeError):
+            nir.ProdDom((3,))  # type: ignore[arg-type]
+
+    def test_domain_ref(self):
+        assert str(nir.DomainRef("alpha")) == "domain 'alpha'"
+
+
+class TestResolve:
+    def test_resolve_plain(self):
+        s = nir.Interval(1, 4)
+        assert nir.resolve(s) is s
+
+    def test_resolve_ref(self):
+        env = {"alpha": nir.Interval(1, 4)}
+        assert nir.resolve(nir.DomainRef("alpha"), env) == nir.Interval(1, 4)
+
+    def test_resolve_chained_refs(self):
+        env = {"a": nir.DomainRef("b"), "b": nir.Interval(1, 2)}
+        assert nir.resolve(nir.DomainRef("a"), env) == nir.Interval(1, 2)
+
+    def test_resolve_inside_prod(self):
+        env = {"a": nir.Interval(1, 3)}
+        s = nir.ProdDom((nir.DomainRef("a"), nir.Interval(1, 2)))
+        resolved = nir.resolve(s, env)
+        assert resolved.dims[0] == nir.Interval(1, 3)
+
+    def test_unbound_domain_raises(self):
+        with pytest.raises(ShapeError, match="unbound"):
+            nir.resolve(nir.DomainRef("ghost"), {})
+
+    def test_cyclic_domain_raises(self):
+        env = {"a": nir.DomainRef("b"), "b": nir.DomainRef("a")}
+        with pytest.raises(ShapeError, match="cyclic"):
+            nir.resolve(nir.DomainRef("a"), env)
+
+
+class TestExtentsAndSize:
+    def test_interval_extent(self):
+        assert nir.extents(nir.Interval(1, 128)) == (128,)
+
+    def test_offset_interval_extent(self):
+        assert nir.extents(nir.Interval(32, 64)) == (33,)
+
+    def test_strided_extent(self):
+        assert nir.extents(nir.Interval(1, 31, 2)) == (16,)
+        assert nir.extents(nir.Interval(2, 32, 2)) == (16,)
+
+    def test_negative_stride_extent(self):
+        assert nir.extents(nir.Interval(10, 1, -3)) == (4,)
+
+    def test_prod_extents(self):
+        s = nir.ProdDom((nir.Interval(1, 128), nir.Interval(1, 64)))
+        assert nir.extents(s) == (128, 64)
+        assert nir.size(s) == 8192
+
+    def test_point_extent(self):
+        assert nir.extents(nir.Point(7)) == (1,)
+
+    def test_rank(self):
+        s = nir.ProdDom((nir.Interval(1, 4), nir.Interval(1, 4),
+                         nir.Point(2)))
+        assert nir.rank(s) == 3
+
+    def test_nested_prod_flattens(self):
+        inner = nir.ProdDom((nir.Interval(1, 2), nir.Interval(1, 3)))
+        outer = nir.ProdDom((inner, nir.Interval(1, 4)))
+        assert nir.extents(outer) == (2, 3, 4)
+        assert nir.rank(outer) == 3
+
+
+class TestPoints:
+    def test_interval_points(self):
+        assert list(nir.points(nir.Interval(2, 6, 2))) == [(2,), (4,), (6,)]
+
+    def test_prod_points_row_major(self):
+        s = nir.ProdDom((nir.Interval(1, 2), nir.Interval(1, 2)))
+        assert list(nir.points(s)) == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+    def test_point_points(self):
+        assert list(nir.points(nir.Point(9))) == [(9,)]
+
+
+class TestSerialParallel:
+    def test_parallel_interval(self):
+        assert nir.is_parallel(nir.Interval(1, 4))
+        assert not nir.is_serial(nir.Interval(1, 4))
+
+    def test_serial_interval(self):
+        assert nir.is_serial(nir.SerialInterval(1, 4))
+
+    def test_mixed_product_is_serial(self):
+        s = nir.ProdDom((nir.SerialInterval(1, 4), nir.Interval(1, 4)))
+        assert nir.is_serial(s)
+
+    def test_serialized(self):
+        s = nir.serialized(nir.Interval(1, 4))
+        assert isinstance(s, nir.SerialInterval)
+
+    def test_parallelized(self):
+        s = nir.parallelized(
+            nir.ProdDom((nir.SerialInterval(1, 4), nir.Interval(1, 2))))
+        assert nir.is_parallel(s)
+
+
+class TestConformance:
+    def test_same_extents_conform(self):
+        assert nir.conformable(nir.Interval(1, 8), nir.Interval(3, 10))
+
+    def test_different_extents_do_not(self):
+        assert not nir.conformable(nir.Interval(1, 8), nir.Interval(1, 9))
+
+    def test_strided_section_conforms_with_dense(self):
+        assert nir.conformable(nir.Interval(1, 31, 2), nir.Interval(1, 16))
+
+    def test_same_domain_stronger(self):
+        a = nir.Interval(1, 8)
+        b = nir.Interval(3, 10)
+        assert nir.conformable(a, b)
+        assert not nir.same_domain(a, b)
+
+    def test_same_domain_through_refs(self):
+        env = {"alpha": nir.Interval(1, 8)}
+        assert nir.same_domain(nir.DomainRef("alpha"), nir.Interval(1, 8),
+                               env)
+
+
+class TestConvenience:
+    def test_interval_of_extent(self):
+        assert nir.interval_of_extent(5) == nir.Interval(1, 5)
+
+    def test_interval_of_extent_serial(self):
+        assert isinstance(nir.interval_of_extent(5, serial=True),
+                          nir.SerialInterval)
+
+    def test_shape_of_extents_1d(self):
+        assert nir.shape_of_extents((7,)) == nir.Interval(1, 7)
+
+    def test_shape_of_extents_2d(self):
+        s = nir.shape_of_extents((2, 3))
+        assert isinstance(s, nir.ProdDom)
+        assert nir.extents(s) == (2, 3)
+
+    def test_bad_extent_rejected(self):
+        with pytest.raises(ShapeError):
+            nir.interval_of_extent(0)

@@ -1,0 +1,79 @@
+"""SPARC assembly rendering of the host (FE/NIR) program."""
+
+import re
+
+from repro.driver.compiler import CompilerOptions, compile_source
+from repro.runtime.sparc import render_sparc
+
+
+def render(src, options=None):
+    return render_sparc(compile_source(src, options).host_program)
+
+
+class TestSparcRendering:
+    def test_prologue_epilogue(self):
+        text = render("integer x\nx = 1\nend")
+        assert ".global _main" in text
+        assert "save %sp" in text
+        assert text.rstrip().endswith("restore")
+
+    def test_allocation_calls_runtime(self):
+        text = render("integer a(8)\na = 1\nend")
+        assert "_CMRT_allocate_array" in text
+
+    def test_node_dispatch_pushes_ififo(self):
+        text = render("integer a(8)\na = a + 1\nend")
+        assert "_CM_push_ififo" in text
+        assert re.search(r"call _CMPE_Pk\d+vs1", text)
+        # The vlen push precedes the dispatch.
+        assert text.index("set vlen") < text.index("_CMPE_")
+
+    def test_communication_calls(self):
+        text = render("integer a(8), b(8)\nb = cshift(a, 1)\nend")
+        assert "_CMRT_cshift" in text
+
+    def test_reduction_call_and_store(self):
+        text = render("integer a(8)\ninteger s\na = 1\ns = sum(a)\nend")
+        assert "_CMRT_reduce_sum" in text
+
+    def test_loop_structure(self):
+        text = render("integer x\ninteger i\nx = 0\n"
+                      "do i = 1, 5\nx = x + i\nend do\nend")
+        assert re.search(r"\.Lloop\d+:", text)
+        assert "cmp %o0, %o1" in text
+        assert re.search(r"ba \.Lloop\d+", text)
+
+    def test_if_structure(self):
+        text = render("integer x\nx = 1\n"
+                      "if (x > 0) then\nx = 2\nelse\nx = 3\nendif\nend")
+        assert re.search(r"bz \.Lelse\d+", text)
+        assert re.search(r"\.Lendif\d+:", text)
+
+    def test_while_structure(self):
+        text = render("integer x\nx = 0\n"
+                      "do while (x < 3)\nx = x + 1\nend do\nend")
+        assert re.search(r"\.Lwhile\d+:", text)
+        assert "tst %o0" in text
+
+    def test_scalar_memory_to_memory_model(self):
+        # Every scalar op loads from and stores to the frame.
+        text = render("integer x, y\nx = 1\ny = x + 2\nend")
+        assert "ld [%fp" in text
+        assert "st %o0, [%fp" in text
+
+    def test_halo_arguments_rendered(self):
+        text = render("double precision t(8,8), u(8,8)\n"
+                      "u = t + cshift(t, 1, 1)\nend",
+                      CompilerOptions.neighborhood())
+        assert "_CMRT_halo_exchange" in text
+
+    def test_labels_unique(self):
+        text = render("integer x\ninteger i, j\nx = 0\n"
+                      "do i = 1, 2\nx = x + 1\nend do\n"
+                      "do j = 1, 2\nx = x + 1\nend do\nend")
+        labels = re.findall(r"^(\.L\w+):", text, re.M)
+        assert len(labels) == len(set(labels))
+
+    def test_unary_library_call(self):
+        text = render("double precision x\nx = sin(0.5d0)\nend")
+        assert "_lib_sin" in text

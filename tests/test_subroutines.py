@@ -1,0 +1,255 @@
+"""Subroutine support: parsing, inline expansion, parameter passing.
+
+Realizes the NIR parameter operators (REF_IN/COPY_IN, Figure 5) by
+inline expansion before lowering; see repro/frontend/inline.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontend import ast_nodes as A
+from repro.frontend.inline import InlineError, inline_program
+from repro.frontend.parser import parse_program, parse_source
+
+from .conftest import assert_matches_reference
+
+
+class TestParsing:
+    def test_parse_source_units(self):
+        sf = parse_source(
+            "program p\nx = 1\nend\n"
+            "subroutine s(a, b)\ninteger a, b\na = b\nend subroutine s")
+        assert len(sf.units) == 2
+        assert sf.main.name == "p"
+        assert "s" in sf.subroutines
+        assert sf.subroutines["s"].params == ("a", "b")
+
+    def test_subroutine_without_args(self):
+        sf = parse_source("program p\nend\nsubroutine nop()\nend")
+        assert sf.subroutines["nop"].params == ()
+
+    def test_end_subroutine_forms(self):
+        sf = parse_source(
+            "program p\nend program p\n"
+            "subroutine a(x)\ninteger x\nx = 1\nend subroutine a\n"
+            "subroutine b(x)\ninteger x\nx = 2\nend\n")
+        assert set(sf.subroutines) == {"a", "b"}
+
+    def test_return_statement_parses(self):
+        sf = parse_source(
+            "program p\nend\nsubroutine s()\nreturn\nend")
+        body = sf.subroutines["s"].body
+        assert isinstance(body[0], A.ReturnStmt)
+
+    def test_source_without_subroutines_unchanged(self):
+        unit = parse_program("integer x\nx = 1\nend")
+        assert unit.kind == "program"
+        assert len(unit.body) == 1
+
+
+class TestInlining:
+    def test_by_reference_variable(self):
+        unit = parse_program(
+            "program p\ninteger k\nk = 1\ncall bump(k)\nend\n"
+            "subroutine bump(x)\ninteger x\nx = x + 1\nend")
+        # The call became the renamed assignment to k itself.
+        assigns = [s for s in unit.body if isinstance(s, A.Assignment)]
+        assert any(isinstance(s.target, A.VarRef) and s.target.name == "k"
+                   and "+" in str(s.expr) for s in assigns)
+
+    def test_by_value_expression(self):
+        unit = parse_program(
+            "program p\ninteger k\nk = 0\ncall use(k + 5)\nend\n"
+            "subroutine use(x)\ninteger x\nx = x * 2\nend")
+        # A temporary receives k+5; k itself is never written by the call.
+        names = {s.target.name for s in unit.body
+                 if isinstance(s, A.Assignment)
+                 and isinstance(s.target, A.VarRef)}
+        assert any(n.startswith("x_use") for n in names)
+
+    def test_locals_renamed_apart(self):
+        unit = parse_program(
+            "program p\ninteger w\nw = 9\ncall f()\ncall f()\nend\n"
+            "subroutine f()\ninteger w\nw = 1\nend")
+        local_names = {s.target.name for s in unit.body
+                       if isinstance(s, A.Assignment)
+                       and isinstance(s.target, A.VarRef)}
+        # Two expansions, two distinct locals, plus the caller's w.
+        assert "w" in local_names
+        assert len({n for n in local_names if n.startswith("w_f")}) == 2
+
+    def test_nested_calls_inline(self):
+        unit = parse_program(
+            "program p\ninteger k\nk = 1\ncall outer(k)\nend\n"
+            "subroutine outer(x)\ninteger x\ncall inner(x)\nend\n"
+            "subroutine inner(y)\ninteger y\ny = y + 10\nend")
+        assert not any(isinstance(s, A.CallStmt) for s in unit.body)
+
+    def test_recursion_rejected(self):
+        with pytest.raises(InlineError, match="depth"):
+            parse_program(
+                "program p\ncall f()\nend\n"
+                "subroutine f()\ncall f()\nend")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(InlineError, match="expects"):
+            parse_program(
+                "program p\ninteger k\ncall f(k, k)\nend\n"
+                "subroutine f(x)\ninteger x\nx = 1\nend")
+
+    def test_mid_body_return_rejected(self):
+        with pytest.raises(InlineError, match="trailing"):
+            parse_program(
+                "program p\ncall f()\nend\n"
+                "subroutine f()\ninteger x\nreturn\nx = 1\nend")
+
+    def test_calls_inside_loops_expand(self):
+        unit = parse_program(
+            "program p\ninteger a(4)\ninteger i\n"
+            "do i = 1, 4\ncall setone(a, i)\nend do\nend\n"
+            "subroutine setone(v, k)\ninteger v(4)\ninteger k\n"
+            "v(k) = k\nend")
+        loop = [s for s in unit.body if isinstance(s, A.DoLoop)][0]
+        assert not any(isinstance(s, A.CallStmt) for s in loop.body)
+
+
+class TestEndToEnd:
+    def test_by_reference_semantics(self):
+        assert_matches_reference(
+            "program p\ninteger k\nk = 1\ncall bump(k)\ncall bump(k)\n"
+            "end\n"
+            "subroutine bump(x)\ninteger x\nx = x + 1\nend",
+            check_scalars=("k",))
+
+    def test_array_by_reference(self):
+        assert_matches_reference(
+            "program p\ndouble precision a(8), b(8)\n"
+            "forall (i=1:8) a(i) = i * 1.0d0\n"
+            "call axpy(a, b, 2.0d0)\nend\n"
+            "subroutine axpy(x, y, alpha)\n"
+            "double precision x(8), y(8)\ndouble precision alpha\n"
+            "y = alpha * x + y\nend")
+
+    def test_expression_actual_by_value(self):
+        assert_matches_reference(
+            "program p\ninteger k, r\nk = 3\nr = 0\n"
+            "call square(k + 1, r)\nend\n"
+            "subroutine square(x, out)\ninteger x, out\n"
+            "out = x * x\nx = 0\nend",
+            check_scalars=("k", "r"))
+
+    def test_parallel_work_in_subroutine(self):
+        result, _ = assert_matches_reference(
+            "program p\ndouble precision t(32,32)\n"
+            "forall (i=1:32, j=1:32) t(i,j) = i + j * 0.5d0\n"
+            "call diffuse(t)\ncall diffuse(t)\nend\n"
+            "subroutine diffuse(u)\ndouble precision u(32,32)\n"
+            "u = u + 0.1d0 * (cshift(u,1,1) + cshift(u,-1,1) "
+            "+ cshift(u,1,2) + cshift(u,-1,2) - 4.0d0*u)\nend")
+        assert result.stats.node_calls >= 2
+
+    def test_subroutine_with_where(self):
+        assert_matches_reference(
+            "program p\ninteger a(16)\nforall (i=1:16) a(i) = i - 8\n"
+            "call clamp(a)\nend\n"
+            "subroutine clamp(v)\ninteger v(16)\n"
+            "where (v < 0)\nv = 0\nend where\nend")
+
+    def test_subroutine_local_parameter(self):
+        assert_matches_reference(
+            "program p\ndouble precision x\nx = 0.0d0\ncall f(x)\nend\n"
+            "subroutine f(out)\ndouble precision out\n"
+            "double precision, parameter :: c = 2.5d0\n"
+            "out = c * 2.0d0\nend",
+            check_scalars=("x",))
+
+
+class TestFunctions:
+    def test_parse_function_unit(self):
+        sf = parse_source(
+            "program p\nend\n"
+            "double precision function f(x)\ndouble precision x\n"
+            "f = x * 2.0d0\nend function f")
+        assert "f" in sf.functions
+        assert sf.functions["f"].kind == "function"
+        assert sf.functions["f"].params == ("x",)
+
+    def test_function_keyword_only_header(self):
+        sf = parse_source(
+            "program p\nend\n"
+            "function g(x)\ninteger g, x\ng = x + 1\nend")
+        assert "g" in sf.functions
+
+    def test_scalar_function_in_expression(self):
+        assert_matches_reference(
+            "program p\ninteger r\nr = twice(3) + twice(4)\nend\n"
+            "integer function twice(x)\ninteger x\ntwice = 2 * x\nend",
+            check_scalars=("r",))
+
+    def test_function_over_arrays(self):
+        assert_matches_reference(
+            "program p\ndouble precision a(8)\ndouble precision s\n"
+            "forall (i=1:8) a(i) = i * 0.5d0\n"
+            "s = total(a) * 2.0d0\nend\n"
+            "double precision function total(v)\n"
+            "double precision, array(8) :: v\n"
+            "total = sum(v)\nend",
+            check_scalars=("s",))
+
+    def test_array_valued_function(self):
+        assert_matches_reference(
+            "program p\ndouble precision a(8), b(8)\n"
+            "forall (i=1:8) a(i) = i * 1.0d0\n"
+            "b = smoothed(a) + 1.0d0\nend\n"
+            "function smoothed(v)\n"
+            "double precision, array(8) :: smoothed, v\n"
+            "smoothed = 0.5d0 * (v + cshift(v, 1))\nend")
+
+    def test_function_in_if_condition(self):
+        assert_matches_reference(
+            "program p\ninteger k\nk = 0\n"
+            "if (twice(5) > 9) then\nk = 1\nend if\nend\n"
+            "integer function twice(x)\ninteger x\ntwice = 2 * x\nend",
+            check_scalars=("k",))
+
+    def test_function_calling_function(self):
+        assert_matches_reference(
+            "program p\ninteger r\nr = quad(3)\nend\n"
+            "integer function quad(x)\ninteger x\nquad = twice(twice(x))\n"
+            "end\n"
+            "integer function twice(x)\ninteger x\ntwice = 2 * x\nend",
+            check_scalars=("r",))
+
+    def test_function_in_do_while_rejected(self):
+        with pytest.raises(InlineError, match="DO WHILE"):
+            parse_program(
+                "program p\ninteger x\nx = 0\n"
+                "do while (twice(x) < 10)\nx = x + 1\nend do\nend\n"
+                "integer function twice(v)\ninteger v\ntwice = 2*v\nend")
+
+    def test_function_in_elseif_rejected(self):
+        with pytest.raises(InlineError, match="ELSE IF"):
+            parse_program(
+                "program p\ninteger x\nx = 1\n"
+                "if (x > 0) then\nx = 2\n"
+                "else if (twice(x) > 0) then\nx = 3\nendif\nend\n"
+                "integer function twice(v)\ninteger v\ntwice = 2*v\nend")
+
+    def test_function_in_forall_rejected(self):
+        with pytest.raises(InlineError, match="FORALL"):
+            parse_program(
+                "program p\ninteger a(4)\n"
+                "forall (i=1:4) a(i) = twice(i)\nend\n"
+                "integer function twice(v)\ninteger v\ntwice = 2*v\nend")
+
+    def test_function_without_result_decl_rejected(self):
+        with pytest.raises(InlineError, match="result"):
+            parse_program(
+                "program p\ninteger r\nr = f(1)\nend\n"
+                "function f(x)\ninteger x\nx = 1\nend")
+
+    def test_recursive_function_rejected(self):
+        with pytest.raises(InlineError, match="depth"):
+            parse_program(
+                "program p\ninteger r\nr = f(1)\nend\n"
+                "integer function f(x)\ninteger x\nf = f(x)\nend")

@@ -1,0 +1,347 @@
+"""Transformation tests: regions, dependence, normalize, phases."""
+
+import pytest
+
+from repro import nir
+from repro.transform import (
+    EffectAnalyzer,
+    Normalizer,
+    PhaseClassifier,
+    PhaseKind,
+    may_depend,
+    regions as rg,
+)
+from repro.transform.pipeline import unwrap_body
+
+from .conftest import lower
+
+
+class TestRegions:
+    def test_full_region(self):
+        r = rg.full_region((8, 8))
+        assert r.is_full and r.extents == (8, 8) and r.size() == 64
+
+    def test_everywhere_field_region(self):
+        r = rg.region_of_field(nir.Everywhere(), (8, 4), {})
+        assert r.is_full
+
+    def test_subscript_ranges(self):
+        field = nir.Subscript((
+            nir.IndexRange(nir.int_const(2), nir.int_const(6)),
+            nir.IndexRange(None, None),
+        ))
+        r = rg.region_of_field(field, (8, 4), {})
+        assert r.axes == ((2, 6, 1), (1, 4, 1))
+        assert r.extents == (5, 4)
+        assert not r.is_full
+
+    def test_scalar_index_pins_axis(self):
+        field = nir.Subscript((nir.int_const(3),
+                               nir.IndexRange(None, None)))
+        r = rg.region_of_field(field, (8, 4), {})
+        assert r.axes[0] == (3, 3, 1)
+
+    def test_svar_index_is_inexact(self):
+        field = nir.Subscript((nir.SVar("i"),))
+        r = rg.region_of_field(field, (8,), {})
+        assert not r.exact
+
+    def test_local_under_index_exact_span(self):
+        field = nir.Subscript((nir.LocalUnder(nir.Interval(1, 8), 1),))
+        r = rg.region_of_field(field, (8,), {})
+        assert r.exact and r.axes[0] == (1, 8, 1)
+
+    def test_odd_even_strides_disjoint(self):
+        a = rg.Region((32,), ((1, 31, 2),))
+        b = rg.Region((32,), ((2, 32, 2),))
+        assert not rg.regions_overlap(a, b)
+
+    def test_same_stride_same_phase_overlap(self):
+        a = rg.Region((32,), ((1, 31, 2),))
+        b = rg.Region((32,), ((3, 17, 2),))
+        assert rg.regions_overlap(a, b)
+
+    def test_disjoint_boxes(self):
+        a = rg.Region((32,), ((1, 10, 1),))
+        b = rg.Region((32,), ((11, 20, 1),))
+        assert not rg.regions_overlap(a, b)
+
+    def test_inexact_always_overlaps(self):
+        a = rg.unknown_region((8,))
+        b = rg.Region((8,), ((1, 1, 1),))
+        assert rg.regions_overlap(a, b)
+
+    def test_2d_disjoint_on_one_axis(self):
+        a = rg.Region((8, 8), ((1, 4, 1), (1, 8, 1)))
+        b = rg.Region((8, 8), ((5, 8, 1), (1, 8, 1)))
+        assert not rg.regions_overlap(a, b)
+
+    def test_different_bases_incomparable(self):
+        with pytest.raises(ValueError):
+            rg.regions_overlap(rg.full_region((4,)), rg.full_region((5,)))
+
+    def test_regions_equal(self):
+        a = rg.Region((8,), ((2, 6, 2),))
+        assert rg.regions_equal(a, rg.Region((8,), ((2, 6, 2),)))
+        assert not rg.regions_equal(a, rg.Region((8,), ((2, 6, 1),)))
+
+    def test_region_shape_roundtrip(self):
+        a = rg.Region((8, 8), ((2, 6, 2), (1, 8, 1)))
+        assert nir.extents(rg.region_shape(a)) == a.extents
+
+
+class TestDependence:
+    def analyzer(self, src):
+        lowered = lower(src)
+        return lowered, EffectAnalyzer(lowered.env)
+
+    def test_move_effects(self):
+        lowered, an = self.analyzer(
+            "integer a(8), b(8)\na = b + 1\nend")
+        (move,) = [x for x in nir.imperatives.walk(lowered.inner_body())
+                   if isinstance(x, nir.Move)]
+        eff = an.effects(move)
+        assert "b" in eff.array_reads and "a" in eff.array_writes
+
+    def test_flow_dependence(self):
+        lowered, an = self.analyzer(
+            "integer a(8), b(8)\na = 1\nb = a\nend")
+        m1, m2 = [x for x in nir.imperatives.walk(lowered.inner_body())
+                  if isinstance(x, nir.Move)]
+        assert may_depend(an.effects(m1), an.effects(m2))
+
+    def test_independent_moves(self):
+        lowered, an = self.analyzer(
+            "integer a(8), b(8)\na = 1\nb = 2\nend")
+        m1, m2 = [x for x in nir.imperatives.walk(lowered.inner_body())
+                  if isinstance(x, nir.Move)]
+        assert not may_depend(an.effects(m1), an.effects(m2))
+
+    def test_disjoint_sections_independent(self):
+        lowered, an = self.analyzer(
+            "integer a(32)\na(1:16) = 1\na(17:32) = 2\nend")
+        m1, m2 = [x for x in nir.imperatives.walk(lowered.inner_body())
+                  if isinstance(x, nir.Move)]
+        assert not may_depend(an.effects(m1), an.effects(m2))
+
+    def test_overlapping_sections_dependent(self):
+        lowered, an = self.analyzer(
+            "integer a(32)\na(1:16) = 1\na(10:20) = 2\nend")
+        m1, m2 = [x for x in nir.imperatives.walk(lowered.inner_body())
+                  if isinstance(x, nir.Move)]
+        assert may_depend(an.effects(m1), an.effects(m2))
+
+    def test_scalar_dependence(self):
+        lowered, an = self.analyzer(
+            "integer x, y\nx = 1\ny = x\nend")
+        m1, m2 = [x for x in nir.imperatives.walk(lowered.inner_body())
+                  if isinstance(x, nir.Move)]
+        assert may_depend(an.effects(m1), an.effects(m2))
+
+    def test_print_is_barrier(self):
+        lowered, an = self.analyzer("integer x\nx = 1\nprint *, 2\nend")
+        body = lowered.inner_body()
+        call = [n for n in nir.imperatives.walk(body)
+                if isinstance(n, nir.CallStmt)][0]
+        move = [n for n in nir.imperatives.walk(body)
+                if isinstance(n, nir.Move)][0]
+        assert may_depend(an.effects(call), an.effects(move))
+
+    def test_effects_merge(self):
+        from repro.transform.dependence import Effects
+        a = Effects(scalar_reads={"x"})
+        b = Effects(scalar_writes={"x"}, barrier=True)
+        a.merge(b)
+        assert a.barrier and "x" in a.scalar_writes
+
+
+class TestNormalize:
+    def normalize(self, src):
+        lowered = lower(src)
+        n = Normalizer(lowered.env)
+        return unwrap_body(n.normalize(lowered.nir)), n, lowered
+
+    def test_nested_cshift_hoisted(self):
+        body, n, lowered = self.normalize(
+            "integer v(8), z(8)\nz = v - cshift(v, -1)\nend")
+        assert n.report.comm_hoisted == 1
+        moves = [a for a in body.actions if isinstance(a, nir.Move)]
+        assert moves[0].clauses[0].src.name == "cshift"
+        assert isinstance(moves[0].clauses[0].tgt, nir.AVar)
+        assert moves[0].clauses[0].tgt.name.startswith("tmp")
+
+    def test_root_cshift_left_in_place(self):
+        body, n, _ = self.normalize(
+            "integer v(8), z(8)\nz = cshift(v, 1)\nend")
+        assert n.report.comm_hoisted == 0
+
+    def test_double_cshift(self):
+        body, n, _ = self.normalize(
+            "integer p(8,8), q(8,8)\n"
+            "q = cshift(cshift(p, -1, 1), -1, 2)\nend")
+        # The inner shift is hoisted; the outer stays as root.
+        assert n.report.comm_hoisted == 1
+
+    def test_comm_arg_materialized(self):
+        body, n, _ = self.normalize(
+            "integer v(8), z(8)\nz = cshift(v + 1, 1)\nend")
+        moves = [a for a in body.actions if isinstance(a, nir.Move)]
+        # First compute v+1 into a temp, then shift it.
+        assert isinstance(moves[0].clauses[0].src, nir.Binary)
+        assert moves[1].clauses[0].src.name == "cshift"
+
+    def test_nested_reduction_hoisted(self):
+        body, n, _ = self.normalize(
+            "integer a(8)\ninteger s\na = 1\ns = sum(a) + 2\nend")
+        assert n.report.reductions_hoisted == 1
+
+    def test_root_reduction_left(self):
+        body, n, _ = self.normalize(
+            "integer a(8)\ninteger s\na = 1\ns = sum(a)\nend")
+        assert n.report.reductions_hoisted == 0
+
+    def test_misaligned_operand_copied(self):
+        body, n, _ = self.normalize(
+            "integer a(16), b(16)\n"
+            "a(1:8) = b(9:16) + a(1:8)\nend")
+        assert n.report.alignment_copies == 1
+
+    def test_aligned_operands_untouched(self):
+        body, n, _ = self.normalize(
+            "integer a(16), b(16)\n"
+            "a(1:8) = b(1:8) + a(1:8)\nend")
+        assert n.report.alignment_copies == 0
+
+    def test_plain_copy_not_hoisted(self):
+        body, n, _ = self.normalize(
+            "integer a(16)\na(1:8) = a(9:16)\nend")
+        # A lone misaligned copy IS the communication; nothing to hoist.
+        assert n.report.alignment_copies == 0
+
+    def test_moves_preserved_count(self):
+        body, n, _ = self.normalize(
+            "integer a(8), b(8)\na = 1\nb = a + 1\nend")
+        assert n.report.moves_in == 2
+        assert n.report.moves_out == 2
+
+
+class TestPhaseClassification:
+    def classify_all(self, src):
+        lowered = lower(src)
+        normalizer = Normalizer(lowered.env)
+        body = unwrap_body(normalizer.normalize(lowered.nir))
+        classifier = PhaseClassifier(lowered.env)
+        return classifier.split(body), lowered
+
+    def test_compute_phase(self):
+        phases, _ = self.classify_all("integer a(8)\na = a + 1\nend")
+        assert phases[0].kind is PhaseKind.COMPUTE
+
+    def test_comm_phase(self):
+        phases, _ = self.classify_all(
+            "integer a(8), b(8)\nb = cshift(a, 1)\nend")
+        assert phases[0].kind is PhaseKind.COMM
+
+    def test_misaligned_copy_is_comm(self):
+        phases, _ = self.classify_all(
+            "integer a(16)\na(1:8) = a(9:16)\nend")
+        assert phases[0].kind is PhaseKind.COMM
+
+    def test_aligned_section_copy_is_compute(self):
+        phases, _ = self.classify_all(
+            "integer a(16), b(16)\na(1:8) = b(1:8)\nend")
+        assert phases[0].kind is PhaseKind.COMPUTE
+
+    def test_reduce_phase(self):
+        phases, _ = self.classify_all(
+            "integer a(8)\ninteger s\na = 1\ns = sum(a)\nend")
+        assert phases[-1].kind is PhaseKind.REDUCE
+
+    def test_scalar_move_is_serial(self):
+        phases, _ = self.classify_all("integer x\nx = 1\nend")
+        assert phases[0].kind is PhaseKind.SERIAL
+
+    def test_control_phase(self):
+        phases, _ = self.classify_all(
+            "integer x\nx = 0\ndo while (x < 3)\nx = x + 1\nend do\nend")
+        kinds = [p.kind for p in phases]
+        assert PhaseKind.CONTROL in kinds
+
+    def test_compute_keys_distinguish_domains(self):
+        phases, _ = self.classify_all(
+            "integer a(8), b(9)\na = 1\nb = 2\nend")
+        assert phases[0].key != phases[1].key
+
+    def test_compute_keys_match_same_domain(self):
+        phases, _ = self.classify_all(
+            "integer a(8), b(8)\na = 1\nb = 2\nend")
+        assert phases[0].key == phases[1].key
+
+
+class TestCommCse:
+    def normalize(self, src, comm_cse=True):
+        lowered = lower(src)
+        n = Normalizer(lowered.env, comm_cse=comm_cse)
+        return unwrap_body(n.normalize(lowered.nir)), n
+
+    def test_duplicate_cshift_reused(self):
+        body, n = self.normalize(
+            "integer v(8), a(8), b(8)\n"
+            "a = v - cshift(v, 1)\nb = v + cshift(v, 1)\nend")
+        comms = [m for m in body.actions if isinstance(m, nir.Move)
+                 and isinstance(m.clauses[0].src, nir.FcnCall)]
+        assert len(comms) == 1
+        assert n.report.comm_cse_hits == 1
+
+    def test_different_shifts_not_merged(self):
+        body, n = self.normalize(
+            "integer v(8), a(8), b(8)\n"
+            "a = v - cshift(v, 1)\nb = v + cshift(v, 2)\nend")
+        assert n.report.comm_cse_hits == 0
+
+    def test_store_invalidates(self):
+        body, n = self.normalize(
+            "integer v(8), a(8), b(8)\n"
+            "a = v - cshift(v, 1)\nv = v + 1\nb = v + cshift(v, 1)\nend")
+        assert n.report.comm_cse_hits == 0
+
+    def test_root_comm_seeds_table(self):
+        body, n = self.normalize(
+            "integer v(8), a(8), b(8)\n"
+            "a = cshift(v, 1)\nb = v + cshift(v, 1)\nend")
+        # The second shift reuses the first move's target 'a'.
+        assert n.report.comm_cse_hits == 1
+
+    def test_root_target_overwrite_invalidates(self):
+        body, n = self.normalize(
+            "integer v(8), a(8), b(8)\n"
+            "a = cshift(v, 1)\na = a + 1\nb = v + cshift(v, 1)\nend")
+        assert n.report.comm_cse_hits == 0
+
+    def test_control_flow_is_a_barrier(self):
+        body, n = self.normalize(
+            "integer v(8), a(8), b(8)\ninteger x\nx = 1\n"
+            "a = v - cshift(v, 1)\n"
+            "if (x > 0) then\nb = v + cshift(v, 1)\nendif\nend")
+        assert n.report.comm_cse_hits == 0
+
+    def test_disabled_by_option(self):
+        body, n = self.normalize(
+            "integer v(8), a(8), b(8)\n"
+            "a = v - cshift(v, 1)\nb = v + cshift(v, 1)\nend",
+            comm_cse=False)
+        assert n.report.comm_cse_hits == 0
+
+    def test_cse_semantics_preserved(self):
+        import numpy as np
+        from repro.driver.reference import run_reference
+        from repro.frontend.parser import parse_program
+        from repro.driver.compiler import compile_source
+        src = ("integer v(12), a(12), b(12)\n"
+               "forall (i=1:12) v(i) = i*i\n"
+               "a = v - cshift(v, 1)\nb = v + cshift(v, 1)\n"
+               "v = cshift(v, 1)\nend")
+        res = compile_source(src).run()
+        ref = run_reference(parse_program(src))
+        for k in ("a", "b", "v"):
+            np.testing.assert_array_equal(res.arrays[k], ref.arrays[k])
