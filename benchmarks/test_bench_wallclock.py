@@ -1,0 +1,106 @@
+"""Wall-clock: compiled fast-path engine vs the interpreter oracle.
+
+Unlike every other benchmark (which reports *simulated* GFLOPS — those
+numbers are identical across engines by construction), this one times
+the harness itself: the SWE end-to-end run executed once with
+``exec_mode="interp"`` (the :class:`VectorExecutor` oracle) and once
+with ``exec_mode="fast"`` (compiled routine plans + generated blocked
+kernels + pooled buffers).
+
+Results land in ``BENCH_wallclock.json`` at the repo root:
+``interp``/``fast`` hold per-run seconds plus min/median, ``speedup``
+is the median-over-median ratio (``speedup_min`` the best-case ratio).
+The run also re-checks the engines' contract: bit-identical arrays and
+identical RunStats.
+
+Knobs: ``REPRO_SWE_N`` (grid, default 512), ``REPRO_WALLCLOCK_STEPS``
+(time steps, default 8), ``REPRO_WALLCLOCK_ROUNDS`` (timed runs per
+engine, default 5), ``REPRO_WALLCLOCK_WARMUP`` (untimed warm-up runs
+per engine, default 3), ``REPRO_WALLCLOCK_MIN_SPEEDUP`` (assert
+floor, default 2.5; the tracked target is 3.0).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.driver.compiler import compile_source
+from repro.machine import Machine, slicewise_model
+from repro.programs.swe import swe_source
+
+from .conftest import SWE_N
+
+STEPS = int(os.environ.get("REPRO_WALLCLOCK_STEPS", "8"))
+ROUNDS = int(os.environ.get("REPRO_WALLCLOCK_ROUNDS", "5"))
+WARMUP = int(os.environ.get("REPRO_WALLCLOCK_WARMUP", "3"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_WALLCLOCK_MIN_SPEEDUP", "2.5"))
+
+_OUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_wallclock.json")
+
+
+def _run(exe, mode):
+    machine = Machine(slicewise_model(), exec_mode=mode)
+    t0 = time.perf_counter()
+    result = exe.run(machine=machine)
+    return time.perf_counter() - t0, result
+
+
+def test_fast_engine_wallclock_speedup():
+    exe = compile_source(swe_source(n=SWE_N, itmax=STEPS))
+
+    # Warm-up runs double as the correctness contract: both engines
+    # must produce bit-identical arrays and identical RunStats.
+    _, ri = _run(exe, "interp")
+    _, rf = _run(exe, "fast")
+    for name in ri.arrays:
+        assert ri.arrays[name].tobytes() == rf.arrays[name].tobytes(), name
+    assert ri.stats.to_dict() == rf.stats.to_dict()
+
+    # One batch per engine (interleaving the two makes the allocator
+    # state oscillate and both engines' timings noisy; batching gives
+    # each engine its own steady state, which is what a user sees).
+    # The untimed warm-ups let each engine reach that steady state —
+    # the first runs after a process has churned memory pay several
+    # hundred ms of page reclaim regardless of engine.
+    times = {"interp": [], "fast": []}
+    for mode in ("interp", "fast"):
+        for _ in range(WARMUP):
+            _run(exe, mode)
+        for _ in range(ROUNDS):
+            secs, _ = _run(exe, mode)
+            times[mode].append(secs)
+
+    med = {m: statistics.median(ts) for m, ts in times.items()}
+    lo = {m: min(ts) for m, ts in times.items()}
+    speedup = med["interp"] / med["fast"]
+    payload = {
+        "benchmark": "swe-end-to-end",
+        "grid": f"{SWE_N}x{SWE_N}",
+        "steps": STEPS,
+        "rounds": ROUNDS,
+        "interp": {"seconds": times["interp"], "min": lo["interp"],
+                   "median": med["interp"]},
+        "fast": {"seconds": times["fast"], "min": lo["fast"],
+                 "median": med["fast"]},
+        "speedup": speedup,
+        "speedup_min": lo["interp"] / lo["fast"],
+        "simulated_gflops": rf.gflops(),  # engine-independent
+    }
+    with open(_OUT, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+    print()
+    print(f"    interp  min {lo['interp']:.3f}s  median "
+          f"{med['interp']:.3f}s")
+    print(f"    fast    min {lo['fast']:.3f}s  median {med['fast']:.3f}s")
+    print(f"    speedup {speedup:.2f}x (median), "
+          f"{payload['speedup_min']:.2f}x (min)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast engine speedup {speedup:.2f}x below floor "
+        f"{MIN_SPEEDUP:.1f}x: {payload}")

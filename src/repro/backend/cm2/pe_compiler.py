@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ... import nir
 from ...lowering.environment import Environment
 from ...peac.isa import (
@@ -532,6 +534,10 @@ def compile_block(move: nir.Move, env: Environment,
 
     allocation = allocate(program)
     routine = encode_routine(name, program, allocation, options)
+    # Spill scratch must hold the computation's element type exactly
+    # (an integer spill through float64 scratch would change dtypes on
+    # restore); the blocked MOVE's target array carries that type.
+    routine.dtype = np.dtype(sym.element.dtype).name
 
     arg_info: list[dict] = []
     for param in routine.params:

@@ -13,7 +13,9 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from .. import nir
 from ..baselines import compile_cmfortran, compile_starlisp
@@ -42,11 +44,12 @@ def _options(args) -> CompilerOptions:
 def _machine(args) -> Machine:
     n_pes = getattr(args, "pes", 2048)
     name = getattr(args, "model", "slicewise")
+    mode = getattr(args, "exec_mode", None)
     if name == "fieldwise":
-        return Machine(fieldwise_model(n_pes))
+        return Machine(fieldwise_model(n_pes), exec_mode=mode)
     if name == "cm5":
-        return Machine(cm5_model(n_pes))
-    return Machine(slicewise_model(n_pes))
+        return Machine(cm5_model(n_pes), exec_mode=mode)
+    return Machine(slicewise_model(n_pes), exec_mode=mode)
 
 
 def _read_source(path: str) -> str:
@@ -89,11 +92,30 @@ def cmd_compile(args) -> int:
 
 def cmd_run(args) -> int:
     source = _read_source(args.file)
+    t0 = time.perf_counter()
     exe = compile_source(source, _options(args))
+    compile_s = time.perf_counter() - t0
     machine = _machine(args)
+    t0 = time.perf_counter()
     result = exe.run(machine)
+    run_s = time.perf_counter() - t0
     for line in result.output:
         print(line)
+    if args.time:
+        print(f"compile {compile_s:.3f}s  run {run_s:.3f}s  "
+              f"(exec engine: {machine.exec_mode})", file=sys.stderr)
+    if args.stats_json:
+        payload = {
+            "model": machine.model.name,
+            "exec_mode": machine.exec_mode,
+            "compile_seconds": compile_s,
+            "run_seconds": run_s,
+            "gflops": result.gflops(),
+            "stats": result.stats.to_dict(),
+        }
+        with open(args.stats_json, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
     if args.stats:
         clock = machine.model.clock_hz
         print(file=sys.stderr)
@@ -163,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target", choices=["cm2", "cm5"], default="cm2")
     p.add_argument("--stats", action="store_true",
                    help="print the performance summary to stderr")
+    p.add_argument("--exec", dest="exec_mode", choices=["fast", "interp"],
+                   default=None,
+                   help="node execution engine (default: $REPRO_EXEC "
+                        "or fast)")
+    p.add_argument("--time", action="store_true",
+                   help="print compile/run wall-clock times to stderr")
+    p.add_argument("--stats-json", metavar="PATH", default=None,
+                   help="write run statistics (cycles, flops, timings) "
+                        "as JSON to PATH")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare",

@@ -69,10 +69,16 @@ class Executable:
 
     def run(self, machine: Machine | None = None,
             inputs: dict[str, np.ndarray] | None = None,
-            model: CostModel | None = None) -> "RunResult":
-        """Execute on a (fresh, unless given) simulated machine."""
+            model: CostModel | None = None,
+            exec_mode: str | None = None) -> "RunResult":
+        """Execute on a (fresh, unless given) simulated machine.
+
+        ``exec_mode`` picks the node execution engine (``"fast"`` plans
+        or the ``"interp"`` oracle) when no machine is supplied.
+        """
         if machine is None:
-            machine = Machine(model or slicewise_model())
+            machine = Machine(model or slicewise_model(),
+                              exec_mode=exec_mode)
         executor = HostExecutor(machine)
         if inputs:
             # Inputs override initial contents after allocation, so run

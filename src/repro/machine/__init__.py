@@ -11,6 +11,7 @@ from .pe import (
     flops_per_element,
     routine_cycles,
 )
+from .plan import GLOBAL_POOL, BufferPool, RoutinePlan, get_plan, invalidate_plan
 from .stats import RunStats
 from .weitek import WeitekTimings, peak_gflops
 

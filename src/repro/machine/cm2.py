@@ -11,19 +11,17 @@ communication primitives.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
-from ..peac.isa import PReg, Routine, SReg, VECTOR_WIDTH
+from ..peac.isa import NUM_PREGS, NUM_SREGS, PReg, Routine, SReg, VECTOR_WIDTH
 from .costs import CostModel, slicewise_model
 from .geometry import Geometry, coordinate_array, make_geometry
-from .pe import (
-    SubgridStream,
-    VectorExecutor,
-    cycles_per_trip,
-    flops_per_element,
-)
+from .pe import SubgridStream, VectorExecutor
+from .plan import _UNBOUND, GLOBAL_POOL, BufferPool, get_plan
 from .stats import RunStats
 
 
@@ -48,14 +46,46 @@ class ArrayHome:
     geometry: Geometry
 
 
-class Machine:
-    """A simulated CM/2 (or CM/5, by cost model)."""
+@lru_cache(maxsize=256)
+def _shared_coordinate_array(extents: tuple[int, ...], axis: int,
+                             lo: int, step: int) -> np.ndarray:
+    """Coordinate subgrids, shared across all Machine instances.
 
-    def __init__(self, model: CostModel | None = None) -> None:
+    Identical coordinate arrays recur across benchmark reruns and
+    baseline comparisons; materializing them once per process (like
+    ``make_geometry``) keeps wall-clock flat.  The cached array is
+    frozen read-only so no machine can contaminate another's view.
+    """
+    arr = coordinate_array(extents, axis, lo, step)
+    arr.flags.writeable = False
+    return arr
+
+
+class Machine:
+    """A simulated CM/2 (or CM/5, by cost model).
+
+    ``exec_mode`` selects the node-dispatch engine: ``"fast"`` (the
+    default, overridable via the ``REPRO_EXEC`` environment variable)
+    executes compiled routine plans (:mod:`repro.machine.plan`);
+    ``"interp"`` routes through the :class:`VectorExecutor` oracle.
+    Both produce bit-identical arrays and identical :class:`RunStats`.
+    """
+
+    def __init__(self, model: CostModel | None = None,
+                 exec_mode: str | None = None) -> None:
         self.model = model or slicewise_model()
+        mode = exec_mode or os.environ.get("REPRO_EXEC", "fast")
+        if mode not in ("fast", "interp"):
+            raise MachineError(
+                f"unknown exec mode {mode!r} (want 'fast' or 'interp')")
+        self.exec_mode = mode
+        self.pool: BufferPool = GLOBAL_POOL
         self.stats = RunStats()
         self.arrays: dict[str, ArrayHome] = {}
-        self._coords: dict[tuple[tuple[int, ...], int], np.ndarray] = {}
+        # Coordinate-array *cycle* accounting stays per machine: each
+        # simulated run pays for its own materialization even though
+        # the host array comes from the shared process-wide cache.
+        self._coords_charged: set[tuple] = set()
 
     # -- storage ---------------------------------------------------------
 
@@ -99,13 +129,13 @@ class Machine:
                       lo: int = 1, step: int = 1) -> np.ndarray:
         """The runtime's lazily-materialized coordinate array for an axis."""
         key = (extents, axis, lo, step)
-        if key not in self._coords:
-            self._coords[key] = coordinate_array(extents, axis, lo, step)
+        if key not in self._coords_charged:
+            self._coords_charged.add(key)
             # Materialization is one node pass over the shape.
             geom = make_geometry(extents, self.model.n_pes)
             self.stats.node_cycles += (
                 math.ceil(geom.vlen / VECTOR_WIDTH) * self.model.instr.move)
-        arr = self._coords[key]
+        arr = _shared_coordinate_array(extents, axis, lo, step)
         if region is None:
             return arr
         return arr[region_slices(region)]
@@ -141,7 +171,9 @@ class Machine:
         if layout is not None and len(layout) != len(region_extents):
             layout = None  # section computes fall back to block layout
         geom = make_geometry(region_extents, self.model.n_pes, layout)
-        executor = VectorExecutor()
+        plan = get_plan(routine)
+        streams: list[SubgridStream | None] = [None] * NUM_PREGS
+        scalars: list = [_UNBOUND] * NUM_SREGS
         pushes = 0
         for param in routine.params:
             if param.kind == "vlen":
@@ -157,28 +189,47 @@ class Machine:
                 if not isinstance(param.reg, PReg):
                     raise MachineError(
                         f"{routine.name}: '{param.name}' needs a pointer reg")
-                executor.bind_pointer(
-                    param.reg, SubgridStream(value, name=param.name))
+                streams[param.reg.n] = SubgridStream(value, name=param.name)
             elif param.kind == "scalar":
                 if not isinstance(param.reg, SReg):
                     raise MachineError(
                         f"{routine.name}: '{param.name}' needs a scalar reg")
-                executor.bind_scalar(param.reg, value)
+                scalars[param.reg.n] = value
             pushes += 1
 
         # Spill scratch: per-call PE memory, bound from the top pointer
-        # registers down (not IFIFO arguments).
-        from ..peac.isa import NUM_PREGS  # local import, no cycle
-        import numpy as _np
+        # registers down (not IFIFO arguments).  Scratch carries the
+        # routine's element dtype (an integer spill must not round-trip
+        # through float64) and is drawn zeroed from the buffer pool
+        # instead of being reallocated on every dispatch.
+        spill_bufs: list[np.ndarray] = []
+        spill_dtype = np.dtype(getattr(routine, "dtype", "float64"))
         for slot in range(routine.spill_slots):
-            scratch = _np.zeros(math.prod(region_extents))
-            executor.bind_pointer(PReg(NUM_PREGS - 1 - slot),
-                                  SubgridStream(scratch, name=f"spill{slot}"))
+            scratch = self.pool.acquire((math.prod(region_extents),),
+                                        spill_dtype)
+            scratch.fill(0)
+            spill_bufs.append(scratch)
+            streams[NUM_PREGS - 1 - slot] = SubgridStream(
+                scratch, name=f"spill{slot}")
 
-        executor.run(routine)
+        try:
+            if self.exec_mode == "fast":
+                plan.execute(streams, scalars, self.pool)
+            else:
+                executor = VectorExecutor()
+                for n, stream in enumerate(streams):
+                    if stream is not None:
+                        executor.bind_pointer(PReg(n), stream)
+                for n, value in enumerate(scalars):
+                    if value is not _UNBOUND:
+                        executor.bind_scalar(SReg(n), value)
+                executor.run(routine)
+        finally:
+            for scratch in spill_bufs:
+                self.pool.release(scratch)
 
         trips = math.ceil(geom.vlen / VECTOR_WIDTH)
-        node = trips * cycles_per_trip(routine, self.model)
+        node = trips * plan.cycles_per_trip(self.model)
         elements = (geom.total_elements if real_elements is None
                     else real_elements)
         self.stats.node_cycles += node
@@ -186,7 +237,7 @@ class Machine:
                                    + pushes * self.model.ififo_push)
         self.stats.node_calls += 1
         self.stats.ififo_pushes += pushes
-        self.stats.flops += flops_per_element(routine) * elements
+        self.stats.flops += plan.flops_per_element * elements
         self.stats.elements_computed += elements
         self.stats.per_routine[routine.name] = (
             self.stats.per_routine.get(routine.name, 0) + node)

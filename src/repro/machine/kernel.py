@@ -1,0 +1,528 @@
+"""Blocked code generation for routine plans (the compiled fast path).
+
+A :class:`~repro.machine.plan.RoutinePlan` executes pre-resolved steps,
+but still makes one full-array pass per instruction — on large subgrids
+every pass streams megabytes through memory.  This module compiles a
+plan *specialization* (plan + binding signature + operand alias pattern)
+down to a single generated Python function that runs the whole routine
+**block by block**: all intermediate values live in small kernel-owned
+buffers that stay cache-resident, and only the bound subgrid streams are
+read or written at full size.
+
+The generator performs a symbolic SSA walk over the plan's steps:
+
+* loads and chained memory operands stay *lazy* — they turn into plain
+  slice expressions ``s3[b:e]`` consumed directly by the ufunc call —
+  unless a later store can overwrite them first, in which case a block
+  copy materializes the pre-store value (the same hazard rule the step
+  engine applies with ``np.may_share_memory``);
+* a compute whose only consumer is a store gets *forwarded*: the ufunc
+  writes ``out=dst[b:e]`` directly and the store disappears;
+* values never consumed are dead code and emit nothing;
+* dual-issue pairs keep their read-then-commit order: evals are emitted
+  before the group's stores, so both halves observe pre-instruction
+  state exactly like the interpreter.
+
+Bit-identity with the interpreter is preserved because every emitted
+operation is one of the interpreter's own elementwise numpy calls
+applied to a contiguous sub-range: element ``i`` sees exactly the same
+inputs, operations and rounding in either engine.  Anything the
+generator cannot prove safe (overlapping-but-distinct operand views,
+non-contiguous streams, mismatched stream lengths, scalar-shaped
+intermediates, allocating ops like conversions) falls back to the plan's
+step engine, which remains fully general.
+
+``REPRO_FAST_BLOCK`` tunes the block length in elements (default
+16384); ``REPRO_FAST_KERNEL=0`` disables code generation entirely so
+the step engine can be exercised on its own.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .plan import (
+    _FMA_FNS,
+    _OUT_FNS,
+    _R_CONST,
+    _R_MEM,
+    _R_SREG,
+    _R_VREG,
+    _UNBOUND,
+    _ComputeStep,
+    _LoadStep,
+    _MoveStep,
+    _StoreStep,
+)
+
+_NO_KERNEL = "ineligible"
+_KERNEL_CAP = 8  # specializations cached per plan
+
+
+def _block_elements() -> int:
+    try:
+        return max(1024, int(os.environ.get("REPRO_FAST_BLOCK", "16384")))
+    except ValueError:
+        return 16384
+
+
+# ---------------------------------------------------------------------------
+# SSA values
+# ---------------------------------------------------------------------------
+
+
+class _Val:
+    """One SSA value flowing between steps during the symbolic walk."""
+
+    __slots__ = ("kind", "cid", "sreg", "const", "dtype", "defg", "uses",
+                 "mat", "store_sites", "nonstore_uses", "fwd_cid", "name",
+                 "store_src_site")
+
+    def __init__(self, kind: str, *, cid=None, sreg=None, const=None,
+                 dtype=None, defg=0) -> None:
+        self.kind = kind            # "src" | "buf" | "scal" | "const"
+        self.cid = cid              # alias-class id (stream values)
+        self.sreg = sreg
+        self.const = const
+        self.dtype = dtype
+        self.defg = defg
+        self.uses: list[int] = []   # groups where the value is read
+        self.mat = False            # src: materialized by a block copy
+        self.store_sites: list = []
+        self.nonstore_uses = 0
+        self.fwd_cid = None         # buf: forwarded to this class
+        self.name = None            # assigned buffer variable
+        self.store_src_site = None
+
+    @property
+    def is_array(self) -> bool:
+        return self.kind in ("src", "buf")
+
+    def last_use(self) -> int:
+        last = self.defg
+        if self.uses:
+            last = max(last, max(self.uses))
+        for site in self.store_sites:
+            last = max(last, site["g"])
+        return last
+
+
+class _Bail(Exception):
+    """Raised internally when a plan cannot be compiled to a kernel."""
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def try_kernel(plan, sig, spec, streams, scalars) -> bool:
+    """Run the compiled kernel for this call if one applies.
+
+    Returns True when the kernel executed (the call is done); False
+    when the caller should fall back to the step engine.
+    """
+    probe = _probe(plan, streams)
+    if probe is None:
+        return False
+    classes, n, S = probe
+    key = (sig, classes, n)
+    kern = plan._kernels.get(key)
+    if kern is None:
+        kern = _build(plan, spec, classes, n, S)
+        if len(plan._kernels) >= _KERNEL_CAP:
+            plan._kernels.pop(next(iter(plan._kernels)))
+        plan._kernels[key] = kern
+    if kern is _NO_KERNEL:
+        return False
+    with np.errstate(all="ignore"):
+        kern(S, scalars, n)
+    return True
+
+
+def _probe(plan, streams):
+    """Dynamic eligibility: contiguous equal-length streams, safe aliasing.
+
+    Returns ``(classes, n, S)`` — the alias-class id per used pointer
+    register, the common stream length, and the flat per-preg arrays —
+    or None when this call's bindings need the step engine.
+    """
+    pregs = plan.used_pregs
+    if not pregs:
+        return None
+    n = -1
+    S: list = [None] * len(streams)
+    ident: dict = {}
+    cid_of: dict[int, int] = {}
+    for p in pregs:
+        stream = streams[p]
+        if stream is None:
+            return None
+        view = stream.view
+        if not isinstance(view, np.ndarray) or not view.flags["C_CONTIGUOUS"]:
+            return None
+        flat = view.reshape(-1)
+        if n < 0:
+            n = flat.size
+        elif flat.size != n:
+            return None
+        S[p] = flat
+        key = (view.__array_interface__["data"][0], view.dtype.str)
+        cid_of[p] = ident.setdefault(key, p)
+    if n <= 0:
+        return None
+    # Stored classes must not overlap any *distinct* operand view: two
+    # identical views are one class (safe), anything else would let a
+    # blocked store corrupt elements another block still has to read.
+    for sp in plan.stored_pregs:
+        scid = cid_of[sp]
+        a = S[sp]
+        for p in pregs:
+            if cid_of[p] != scid and np.may_share_memory(a, S[p]):
+                return None
+    return tuple(cid_of[p] for p in pregs), n, S
+
+
+# ---------------------------------------------------------------------------
+# Kernel construction
+# ---------------------------------------------------------------------------
+
+
+def _build(plan, spec, classes, n, S):
+    try:
+        return _Builder(plan, spec, classes, n, S).build()
+    except _Bail:
+        return _NO_KERNEL
+
+
+class _Builder:
+    def __init__(self, plan, spec, classes, n, S) -> None:
+        self.plan = plan
+        self.spec = spec
+        self.n = n
+        self.cid_of = dict(zip(plan.used_pregs, classes))
+        self.class_dtype = {cid: S[cid].dtype for cid in set(classes)}
+        self.src_vals: list[_Val] = []
+        self.buf_vals: list[_Val] = []
+        self.aux_vals: list[_Val] = []
+        self.store_sites: list[dict] = []
+        self.slots: list[list] = []       # per group: ordered slot entries
+        self.store_groups: dict[int, list[int]] = {}
+        self.consts: dict = {}
+        self.fns: dict[int, tuple[str, object]] = {}
+        self.hoists: list[str] = []       # preamble lines (scalar masks)
+        self.hoist_names: dict = {}
+
+    # -- symbolic walk --------------------------------------------------
+
+    def build(self):
+        vmap: list[_Val | None] = [None] * 8
+        for g, steps in enumerate(self.plan.groups):
+            slot: list = []
+            self.slots.append(slot)
+            pend: list[tuple[int, _Val]] = []
+            for step in steps:
+                if isinstance(step, (_LoadStep, _MoveStep)):
+                    pend.append((step.dst, self._eval_move(step, vmap, g)))
+                elif isinstance(step, _StoreStep):
+                    self._eval_store(step, vmap, g)
+                elif isinstance(step, _ComputeStep):
+                    pend.append((step.dst, self._eval_compute(step, vmap, g)))
+                # branches are loop bookkeeping: nothing to emit
+            for dst, val in pend:          # commits after all evals
+                vmap[dst] = val
+        self._decide_materialization()
+        self._decide_forwarding()
+        self._assign_buffers()
+        return self._emit()
+
+    def _term(self, rd, vmap, g) -> _Val:
+        tag = rd[0]
+        if tag == _R_VREG:
+            val = vmap[rd[1]]
+            if val is None:
+                raise _Bail
+            return val
+        if tag == _R_SREG:
+            return _Val("scal", sreg=rd[1])
+        if tag == _R_CONST:
+            return _Val("const", const=rd[1])
+        # _R_MEM: a chained operand read at this group
+        val = _Val("src", cid=self.cid_of[rd[1]],
+                   dtype=self.class_dtype[self.cid_of[rd[1]]], defg=g)
+        self.src_vals.append(val)
+        return val
+
+    def _eval_move(self, step, vmap, g) -> _Val:
+        rd = step.reader
+        if rd[0] == _R_MEM:
+            val = _Val("src", cid=self.cid_of[rd[1]],
+                       dtype=self.class_dtype[self.cid_of[rd[1]]], defg=g)
+            self.src_vals.append(val)
+            self.slots[g].append(("load", val))
+            return val
+        return self._term(rd, vmap, g)
+
+    def _eval_store(self, step, vmap, g) -> None:
+        term = self._term(step.reader, vmap, g)
+        cid = self.cid_of[step.preg]
+        site = {"g": g, "cid": cid, "term": term, "elide": False}
+        if term.is_array:
+            term.uses.append(g)
+            term.store_sites.append(site)
+            if term.kind == "src" and term.defg == g:
+                term.store_src_site = site
+        self.store_sites.append(site)
+        self.slots[g].append(("store", site))
+        self.store_groups.setdefault(cid, []).append(g)
+
+    def _eval_compute(self, step, vmap, g) -> _Val:
+        if step.mode == "alloc":
+            raise _Bail
+        shape, dtype = self.spec[step.token]
+        if shape != (self.n,):
+            raise _Bail
+        args = [self._term(rd, vmap, g) for rd in step.readers]
+        for a in args:
+            if a.is_array:
+                a.uses.append(g)
+                a.nonstore_uses += 1
+        out = _Val("buf", dtype=np.dtype(dtype), defg=g)
+        self.buf_vals.append(out)
+        aux = None
+        if step.mode == "fma":
+            ashape, adtype = self.spec[step.aux]
+            if ashape != (self.n,):
+                raise _Bail
+            aux = _Val("buf", dtype=np.dtype(adtype), defg=g)
+            aux.uses.append(g)
+            self.aux_vals.append(aux)
+        elif step.mode == "select":
+            mask = args[0]
+            if mask.is_array and mask.dtype != np.dtype(bool):
+                aux = _Val("buf", dtype=np.dtype(bool), defg=g)
+                aux.uses.append(g)
+                self.aux_vals.append(aux)
+        self.slots[g].append(("compute", step, args, out, aux))
+        return out
+
+    # -- scheduling decisions -------------------------------------------
+
+    def _decide_materialization(self) -> None:
+        """A lazy stream value read after a store to its class must be
+        snapshotted at definition time (pre-store), like the step
+        engine's hazard copies."""
+        for val in self.src_vals:
+            if not val.uses:
+                continue
+            stores = self.store_groups.get(val.cid, ())
+            val.mat = any(val.defg <= s < u
+                          for s in stores for u in val.uses)
+            if not val.mat and val.store_src_site is not None:
+                # A store source read in a group where *another* store
+                # hits the same class: commits run in step order, so
+                # snapshot the eval-time value first.
+                own = val.store_src_site
+                val.mat = any(site["cid"] == val.cid and site["g"] == own["g"]
+                              and site is not own
+                              for site in self.store_sites)
+
+    def _decide_forwarding(self) -> None:
+        # Read positions per class: lazy reads happen at use time,
+        # materialized reads at definition time.
+        reads: dict[int, list[int]] = {}
+        for val in self.src_vals:
+            if not val.uses:
+                continue
+            pos = [val.defg] if val.mat else val.uses
+            reads.setdefault(val.cid, []).extend(pos)
+        for val in self.buf_vals:
+            if val.nonstore_uses or len(val.store_sites) != 1:
+                continue
+            site = val.store_sites[0]
+            d = site["cid"]
+            if val.dtype != self.class_dtype[d]:
+                continue
+            g, j = val.defg, site["g"]
+            if any(s["cid"] == d and g <= s["g"] <= j and s is not site
+                   for s in self.store_sites):
+                continue
+            if any(g <= r <= j for r in reads.get(d, ())):
+                continue
+            val.fwd_cid = d
+            site["elide"] = True
+
+    def _assign_buffers(self) -> None:
+        """Linear-scan allocation of physical block buffers.
+
+        A buffer frees one group after its owner's last use — never
+        within the same group, so dual-issue evals can't clobber a value
+        a sibling step still reads.
+        """
+        need = [v for v in self.src_vals if v.mat and v.uses]
+        need += [v for v in self.buf_vals
+                 if v.fwd_cid is None and (v.uses or v.store_sites)]
+        need += self.aux_vals
+        need.sort(key=lambda v: v.defg)
+        self.phys: list[np.dtype] = []
+        free: dict[str, list[int]] = {}
+        active: list[tuple[int, int, str]] = []  # (last use, idx, dtype)
+        for val in need:
+            live = []
+            for last, idx, dts in active:
+                if last < val.defg:
+                    free.setdefault(dts, []).append(idx)
+                else:
+                    live.append((last, idx, dts))
+            active = live
+            bucket = free.get(val.dtype.str)
+            if bucket:
+                idx = bucket.pop()
+            else:
+                idx = len(self.phys)
+                self.phys.append(val.dtype)
+            val.name = f"v{idx}"
+            active.append((val.last_use(), idx, val.dtype.str))
+
+    # -- emission -------------------------------------------------------
+
+    def _fn(self, fn) -> str:
+        got = self.fns.get(id(fn))
+        if got is None:
+            got = (f"g{len(self.fns)}", fn)
+            self.fns[id(fn)] = got
+        return got[0]
+
+    def _const(self, value) -> str:
+        key = (type(value).__name__, repr(value))
+        got = self.consts.get(key)
+        if got is None:
+            got = (f"c{len(self.consts)}", value)
+            self.consts[key] = got
+        return got[0]
+
+    def _expr(self, val: _Val) -> str:
+        if val.kind == "src":
+            return val.name if val.mat else f"s{val.cid}[b:e]"
+        if val.kind == "buf":
+            return f"s{val.fwd_cid}[b:e]" if val.fwd_cid is not None \
+                else val.name
+        if val.kind == "scal":
+            return f"x{val.sreg}"
+        return self._const(val.const)
+
+    def _emit(self):
+        lines: list[str] = []
+        used_cids: set[int] = set()
+        used_sregs: set[int] = set()
+
+        def note(val: _Val) -> None:
+            if val.kind == "src" or (val.kind == "buf"
+                                     and val.fwd_cid is not None):
+                used_cids.add(val.cid if val.kind == "src" else val.fwd_cid)
+            elif val.kind == "scal":
+                used_sregs.add(val.sreg)
+
+        for g, slot in enumerate(self.slots):
+            evals: list[str] = []
+            commits: list[str] = []
+            for entry in slot:
+                kind = entry[0]
+                if kind == "load":
+                    val = entry[1]
+                    if val.mat and val.uses:
+                        used_cids.add(val.cid)
+                        evals.append(f"_cp({val.name}, s{val.cid}[b:e])")
+                elif kind == "compute":
+                    _, step, args, out, aux = entry
+                    if not out.uses and not out.store_sites:
+                        continue  # dead value
+                    for a in args:
+                        note(a)
+                    if out.fwd_cid is not None:
+                        used_cids.add(out.fwd_cid)
+                    evals.extend(self._emit_compute(step, args, out, aux))
+                elif kind == "store":
+                    site = entry[1]
+                    term = site["term"]
+                    if (term.kind == "src" and term.mat
+                            and term.store_src_site is site):
+                        # Same-group store hazard: snapshot the source
+                        # during the eval phase, before any commit.
+                        used_cids.add(term.cid)
+                        evals.append(f"_cp({term.name}, s{term.cid}[b:e])")
+                    if site["elide"]:
+                        continue
+                    note(term)
+                    used_cids.add(site["cid"])
+                    commits.append(
+                        f"_cp(s{site['cid']}[b:e], {self._expr(term)},"
+                        f" casting='unsafe')")
+            lines.extend(evals)
+            lines.extend(commits)
+        if not lines:
+            raise _Bail
+
+        bs = min(self.n, _block_elements())
+        glb: dict = {"_cp": np.copyto}
+        for name, fn in self.fns.values():
+            glb[name] = fn
+        for name, value in self.consts.values():
+            glb[name] = value
+        for i, dt in enumerate(self.phys):
+            glb[f"B{i}"] = np.empty(bs, dtype=dt)
+
+        pre = [f"s{cid} = S[{cid}]" for cid in sorted(used_cids)]
+        pre += [f"x{k} = X[{k}]" for k in sorted(used_sregs)]
+        pre += self.hoists
+        body = [f"def _kernel(S, X, n):"]
+        body += [f"    {p}" for p in pre]
+        body += ["    b = 0",
+                 "    while b < n:",
+                 f"        e = b + {bs}",
+                 "        if e > n: e = n",
+                 "        m = e - b"]
+        body += [f"        v{i} = B{i}[:m]" for i in range(len(self.phys))]
+        body += [f"        {ln}" for ln in lines]
+        body += ["        b = e"]
+        src = "\n".join(body) + "\n"
+        code = compile(src, f"<kernel:{self.plan.name}>", "exec")
+        exec(code, glb)
+        kernel = glb["_kernel"]
+        kernel.source = src
+        return kernel
+
+    def _emit_compute(self, step, args, out, aux) -> list[str]:
+        exprs = [self._expr(a) for a in args]
+        target = self._expr(out)
+        if step.mode == "ufunc":
+            fn = self._fn(step.fn)
+            return [f"{fn}({', '.join(exprs)}, out={target})"]
+        if step.mode == "fma":
+            f1 = self._fn(step.fn)
+            f2 = self._fn(step.fn2)
+            return [f"{f1}({exprs[0]}, {exprs[1]}, out={aux.name})",
+                    f"{f2}({aux.name}, {exprs[2]}, out={target})"]
+        # select: copy the false side, overwrite where the mask holds
+        mask = args[0]
+        if aux is not None:
+            ne = self._fn(np.not_equal)
+            conv = [f"{ne}({exprs[0]}, 0, out={aux.name})"]
+            mexpr = aux.name
+        elif mask.is_array:  # already boolean
+            conv = []
+            mexpr = exprs[0]
+        else:               # scalar mask: hoist the bool conversion
+            key = ("mask", exprs[0])
+            name = self.hoist_names.get(key)
+            if name is None:
+                name = f"t{len(self.hoist_names)}"
+                self.hoist_names[key] = name
+                ab = self._fn(np.asarray)
+                self.hoists.append(f"{name} = {ab}({exprs[0]}, dtype=bool)")
+            conv = []
+            mexpr = name
+        return conv + [f"_cp({target}, {exprs[2]})",
+                       f"_cp({target}, {exprs[1]}, where={mexpr})"]

@@ -54,6 +54,23 @@ class RunStats:
         for name, cycles in other.per_routine.items():
             self.per_routine[name] = self.per_routine.get(name, 0) + cycles
 
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (for ``--stats-json`` perf tracking)."""
+        return {
+            "node_cycles": self.node_cycles,
+            "call_cycles": self.call_cycles,
+            "comm_cycles": self.comm_cycles,
+            "host_cycles": self.host_cycles,
+            "total_cycles": self.total_cycles,
+            "flops": self.flops,
+            "node_calls": self.node_calls,
+            "ififo_pushes": self.ififo_pushes,
+            "comm_ops": self.comm_ops,
+            "reductions": self.reductions,
+            "elements_computed": self.elements_computed,
+            "per_routine": dict(self.per_routine),
+        }
+
     def breakdown(self) -> dict[str, float]:
         """Fractions of total time by category (for the effort profile)."""
         total = self.total_cycles or 1

@@ -307,6 +307,7 @@ class Routine:
     params: list[ParamSpec] = field(default_factory=list)
     body: list[Instr] = field(default_factory=list)
     spill_slots: int = 0  # per-call PE scratch streams, bound from aP15 down
+    dtype: str = "float64"  # element dtype of the routine's spill scratch
 
     @property
     def label(self) -> str:

@@ -64,6 +64,44 @@ def _write(view: np.ndarray, value) -> None:
     np.copyto(view, arr, casting="unsafe")
 
 
+def _shifted_into(out: np.ndarray, src: np.ndarray, r: int,
+                  axis: int) -> None:
+    """``np.roll(src, r, axis)`` written directly into ``out``."""
+    if r == 0:
+        np.copyto(out, src, casting="unsafe")
+        return
+    n = src.shape[axis]
+    lo = [slice(None)] * src.ndim
+    hi = [slice(None)] * src.ndim
+    slo = [slice(None)] * src.ndim
+    shi = [slice(None)] * src.ndim
+    lo[axis] = slice(0, r)
+    slo[axis] = slice(n - r, None)
+    hi[axis] = slice(r, None)
+    shi[axis] = slice(None, n - r)
+    np.copyto(out[tuple(lo)], src[tuple(slo)], casting="unsafe")
+    np.copyto(out[tuple(hi)], src[tuple(shi)], casting="unsafe")
+
+
+def _shifted_copy(machine, view: np.ndarray, src: np.ndarray,
+                  shift: int, axis: int) -> None:
+    """One-pass CSHIFT: the roll lands straight in the target view.
+
+    The generic path materializes ``np.roll`` (an allocation and a full
+    copy) and then copies again into the target.  A circular shift is
+    just two block copies, so write them directly — via a pooled
+    staging buffer only when source and target share memory.
+    """
+    r = (-int(shift)) % src.shape[axis]
+    if np.shares_memory(view, src):
+        tmp = machine.pool.acquire(src.shape, src.dtype)
+        _shifted_into(tmp, src, r, axis)
+        np.copyto(view, tmp, casting="unsafe")
+        machine.pool.release(tmp)
+    else:
+        _shifted_into(view, src, r, axis)
+
+
 def _primary_array(value: nir.Value) -> str | None:
     for node in nir.values.walk(value):
         if isinstance(node, nir.AVar):
@@ -78,9 +116,19 @@ def execute_comm(machine, evaluator: NirEvaluator,
         raise RuntimeError_("communication phases are unmasked")
     if not isinstance(clause.tgt, nir.AVar):
         raise RuntimeError_("communication target must be an array")
-    result = evaluator.eval(clause.src)
+    result = None
     view = _target_view(machine, clause.tgt)
-    _write(view, result)
+    src_arr = None
+    if kind == "cshift" and isinstance(clause.src, nir.FcnCall):
+        arg = clause.src.args[0]
+        if isinstance(arg, nir.AVar) and isinstance(arg.field, nir.Everywhere):
+            data = machine.home(arg.name).data
+            if (isinstance(data, np.ndarray) and data.shape == view.shape
+                    and data.size):
+                src_arr = data
+    if src_arr is None:
+        result = evaluator.eval(clause.src)
+        _write(view, result)
 
     model = machine.model
     src_name = _primary_array(clause.src)
@@ -93,6 +141,11 @@ def execute_comm(machine, evaluator: NirEvaluator,
         shift = int(evaluator.eval_scalar(call.args[1]))
         dim_index = 2 if kind == "cshift" else 3
         dim = int(evaluator.eval_scalar(call.args[dim_index]))
+        if src_arr is not None:
+            if 1 <= dim <= src_arr.ndim:
+                _shifted_copy(machine, view, src_arr, shift, dim - 1)
+            else:
+                _write(view, evaluator.eval(clause.src))
         machine.charge_comm(network.cshift_cycles(model, geom, dim, shift))
     elif kind == "transpose":
         machine.charge_comm(network.transpose_cycles(model, geom))
