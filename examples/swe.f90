@@ -1,0 +1,79 @@
+! The shallow-water-equations benchmark of the paper's §6 (the
+! SWE code of Sadourny 1975), at an example-sized 64x64 grid.
+! Regenerate with: python -c "from repro.programs.swe import
+! swe_source; print(swe_source(n=64, itmax=4), end='')"
+
+program swe
+integer, parameter :: n = 64
+integer, parameter :: itmax = 4
+double precision, array(n,n) :: u, v, p, unew, vnew, pnew
+double precision, array(n,n) :: uold, vold, pold, cu, cv, z, h, psi
+double precision dt, tdt, dx, dy, a, alpha, el, pi, tpi, di, dj, pcf
+double precision fsdx, fsdy, tdts8, tdtsdx, tdtsdy
+integer ncycle
+
+dt = 90.0d0
+tdt = dt
+dx = 100000.0d0
+dy = 100000.0d0
+a = 1000000.0d0
+alpha = 0.001d0
+el = n * dx
+pi = 3.14159265358979d0
+tpi = pi + pi
+di = tpi / n
+dj = tpi / n
+pcf = pi * pi * a * a / (el * el)
+fsdx = 4.0d0 / dx
+fsdy = 4.0d0 / dy
+
+! Initial conditions: a doubly-periodic velocity streamfunction.
+forall (i=1:n, j=1:n) psi(i,j) = a * sin((i - 0.5d0) * di) * sin((j - 0.5d0) * dj)
+forall (i=1:n, j=1:n) p(i,j) = pcf * (cos(2.0d0 * (i - 1) * di) + cos(2.0d0 * (j - 1) * dj)) + 50000.0d0
+u = -(cshift(psi, shift=1, dim=2) - psi) / dy
+v = (cshift(psi, shift=1, dim=1) - psi) / dx
+
+uold = u
+vold = v
+pold = p
+
+do ncycle = 1, itmax
+   ! Compute capital u, capital v, z and h.
+   cu = 0.5d0 * (p + cshift(p, shift=-1, dim=1)) * u
+   cv = 0.5d0 * (p + cshift(p, shift=-1, dim=2)) * v
+   z = (fsdx * (v - cshift(v, shift=-1, dim=1)) - fsdy * (u - cshift(u, shift=-1, dim=2))) &
+       / (cshift(cshift(p, shift=-1, dim=1), shift=-1, dim=2) + cshift(p, shift=-1, dim=2) + p + cshift(p, shift=-1, dim=1))
+   h = p + 0.25d0 * (cshift(u, shift=1, dim=1) * cshift(u, shift=1, dim=1) + u * u &
+       + cshift(v, shift=1, dim=2) * cshift(v, shift=1, dim=2) + v * v)
+
+   tdts8 = tdt / 8.0d0
+   tdtsdx = tdt / dx
+   tdtsdy = tdt / dy
+
+   ! Time tendencies.
+   unew = uold + tdts8 * (cshift(z, shift=1, dim=2) + z) &
+          * (cshift(cv, shift=1, dim=2) + cshift(cshift(cv, shift=-1, dim=1), shift=1, dim=2) &
+             + cshift(cv, shift=-1, dim=1) + cv) &
+          - tdtsdx * (h - cshift(h, shift=-1, dim=1))
+   vnew = vold - tdts8 * (cshift(z, shift=1, dim=1) + z) &
+          * (cshift(cu, shift=1, dim=1) + cshift(cshift(cu, shift=-1, dim=2), shift=1, dim=1) &
+             + cshift(cu, shift=-1, dim=2) + cu) &
+          - tdtsdy * (h - cshift(h, shift=-1, dim=2))
+   pnew = pold - tdtsdx * (cshift(cu, shift=1, dim=1) - cu) - tdtsdy * (cshift(cv, shift=1, dim=2) - cv)
+
+   if (ncycle > 1) then
+      ! Robert-Asselin time smoothing.
+      uold = u + alpha * (unew - 2.0d0 * u + uold)
+      vold = v + alpha * (vnew - 2.0d0 * v + vold)
+      pold = p + alpha * (pnew - 2.0d0 * p + pold)
+   else
+      tdt = tdt + tdt
+      uold = u
+      vold = v
+      pold = p
+   end if
+   u = unew
+   v = vnew
+   p = pnew
+end do
+end program swe

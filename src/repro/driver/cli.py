@@ -7,13 +7,21 @@ Commands:
 * ``run`` — execute on the simulated machine, print program output and
   the performance summary;
 * ``compare`` — the paper's §6 experiment on any program: Fortran-90-Y
-  vs the CM Fortran and \\*Lisp models.
+  vs the CM Fortran and \\*Lisp models;
+* ``serve`` — the JSON-lines compile-and-run service (persistent
+  compile cache + worker pool; see :mod:`repro.service`);
+* ``batch`` — run a JSON-lines job file through the worker pool.
+
+``REPRO_DEBUG=1`` re-raises errors with full tracebacks instead of the
+one-line diagnostics; ``REPRO_CACHE=1`` makes every compile consult the
+persistent cache (``--cache`` does it per invocation).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -52,6 +60,12 @@ def _machine(args) -> Machine:
     return Machine(slicewise_model(n_pes), exec_mode=mode)
 
 
+def _compile(args, source: str):
+    """Compile honoring the --cache flag (None defers to $REPRO_CACHE)."""
+    cache = True if getattr(args, "cache", False) else None
+    return compile_source(source, _options(args), cache=cache)
+
+
 def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
@@ -59,9 +73,41 @@ def _read_source(path: str) -> str:
         return f.read()
 
 
+# -- shared argument groups -------------------------------------------------
+
+
+def _add_pipeline_args(p: argparse.ArgumentParser) -> None:
+    """The pipeline switches shared by compile/run/compare."""
+    g = p.add_argument_group("pipeline")
+    g.add_argument("--naive", action="store_true",
+                   help="per-statement compilation, naive node encoding")
+    g.add_argument("--neighborhood", action="store_true",
+                   help="§5.3.2 neighborhood model (CSHIFT halo streams)")
+    g.add_argument("--target", choices=["cm2", "cm5"], default="cm2")
+    g.add_argument("--cache", action="store_true",
+                   help="consult the persistent compile cache "
+                        "(~/.cache/repro; also $REPRO_CACHE=1)")
+
+
+def _add_exec_args(p: argparse.ArgumentParser) -> None:
+    """The execution switches shared by run/compare."""
+    g = p.add_argument_group("execution")
+    g.add_argument("--pes", type=int, default=2048,
+                   help="number of processing elements (power of two)")
+    g.add_argument("--model", choices=["slicewise", "fieldwise", "cm5"],
+                   default="slicewise")
+    g.add_argument("--exec", dest="exec_mode", choices=["fast", "interp"],
+                   default=None,
+                   help="node execution engine (default: $REPRO_EXEC "
+                        "or fast)")
+
+
+# -- commands ---------------------------------------------------------------
+
+
 def cmd_compile(args) -> int:
     source = _read_source(args.file)
-    exe = compile_source(source, _options(args))
+    exe = _compile(args, source)
     emits = args.emit or ["peac"]
     out = []
     if "nir" in emits:
@@ -93,7 +139,7 @@ def cmd_compile(args) -> int:
 def cmd_run(args) -> int:
     source = _read_source(args.file)
     t0 = time.perf_counter()
-    exe = compile_source(source, _options(args))
+    exe = _compile(args, source)
     compile_s = time.perf_counter() - t0
     machine = _machine(args)
     t0 = time.perf_counter()
@@ -132,17 +178,22 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    from ..service.jobs import speedup_str
+
     source = _read_source(args.file)
+    mode = args.exec_mode
     rows = []
     exe = compile_starlisp(source)
     rows.append(("*Lisp (fieldwise)",
-                 exe.run(Machine(fieldwise_model(args.pes)))))
+                 exe.run(Machine(fieldwise_model(args.pes),
+                                 exec_mode=mode))))
     exe = compile_cmfortran(source)
     rows.append(("CM Fortran v1.1",
-                 exe.run(Machine(slicewise_model(args.pes)))))
-    exe = compile_source(source)
-    rows.append(("Fortran-90-Y",
-                 exe.run(Machine(slicewise_model(args.pes)))))
+                 exe.run(Machine(slicewise_model(args.pes),
+                                 exec_mode=mode))))
+    exe = compile_source(source, _options(args),
+                         cache=(True if args.cache else None))
+    rows.append(("Fortran-90-Y", exe.run(_machine(args))))
     print(f"{'model':<20} {'GFLOPS':>8} {'cycles':>14} {'calls':>7}")
     for label, result in rows:
         print(f"{label:<20} {result.gflops():>8.3f} "
@@ -151,8 +202,45 @@ def cmd_compare(args) -> int:
     base = rows[-1][1].stats.total_cycles
     for label, result in rows[:-1]:
         print(f"Fortran-90-Y speedup over {label}: "
-              f"{result.stats.total_cycles / base:.2f}x")
+              f"{speedup_str(result.stats.total_cycles, base)}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    from ..service.pool import WorkerPool
+    from ..service.server import serve
+
+    pool = WorkerPool(args.workers, timeout=args.timeout,
+                      cache=_service_cache(args))
+    return serve(args.host, args.port, pool)
+
+
+def cmd_batch(args) -> int:
+    from ..service.batch import batch_main
+    from ..service.pool import WorkerPool
+
+    pool = WorkerPool(args.workers, timeout=args.timeout,
+                      cache=_service_cache(args))
+    return batch_main(args.file, pool, out_path=args.out)
+
+
+def _service_cache(args):
+    if args.no_cache:
+        return None
+    return args.cache_dir if args.cache_dir else True
+
+
+def _add_service_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("service")
+    g.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = in-process fallback)")
+    g.add_argument("--timeout", type=float, default=None,
+                   help="per-job timeout in seconds (pool mode)")
+    g.add_argument("--cache-dir", default=None,
+                   help="compile cache root (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
+    g.add_argument("--no-cache", action="store_true",
+                   help="compile from scratch on every request")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -167,28 +255,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--emit", action="append",
                    choices=["nir", "nir-opt", "peac", "host", "sparc"],
                    help="IR(s) to print (default: peac)")
-    p.add_argument("--naive", action="store_true",
-                   help="per-statement compilation, naive node encoding")
-    p.add_argument("--neighborhood", action="store_true",
-                   help="§5.3.2 neighborhood model (CSHIFT halo streams)")
-    p.add_argument("--target", choices=["cm2", "cm5"], default="cm2")
+    _add_pipeline_args(p)
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="compile and execute on the simulator")
     p.add_argument("file", help="Fortran source file, or - for stdin")
-    p.add_argument("--pes", type=int, default=2048,
-                   help="number of processing elements (power of two)")
-    p.add_argument("--model", choices=["slicewise", "fieldwise", "cm5"],
-                   default="slicewise")
-    p.add_argument("--naive", action="store_true")
-    p.add_argument("--neighborhood", action="store_true")
-    p.add_argument("--target", choices=["cm2", "cm5"], default="cm2")
+    _add_pipeline_args(p)
+    _add_exec_args(p)
     p.add_argument("--stats", action="store_true",
                    help="print the performance summary to stderr")
-    p.add_argument("--exec", dest="exec_mode", choices=["fast", "interp"],
-                   default=None,
-                   help="node execution engine (default: $REPRO_EXEC "
-                        "or fast)")
     p.add_argument("--time", action="store_true",
                    help="print compile/run wall-clock times to stderr")
     p.add_argument("--stats-json", metavar="PATH", default=None,
@@ -199,8 +274,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare",
                        help="the §6 three-compiler comparison")
     p.add_argument("file", help="Fortran source file, or - for stdin")
-    p.add_argument("--pes", type=int, default=2048)
+    _add_pipeline_args(p)
+    _add_exec_args(p)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("serve",
+                       help="JSON-lines compile-and-run service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9290,
+                   help="TCP port (0 = pick a free port)")
+    _add_service_args(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("batch",
+                       help="run a JSON-lines job file through the pool")
+    p.add_argument("file", help="job file (JSON lines), or - for stdin")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write JSON-lines results to PATH (default: "
+                        "stdout)")
+    _add_service_args(p)
+    p.set_defaults(func=cmd_batch)
 
     return parser
 
@@ -208,11 +301,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    debug = os.environ.get("REPRO_DEBUG") == "1"
     try:
         return args.func(args)
     except FileNotFoundError as exc:
+        if debug:
+            raise
         print(f"repro: {exc}", file=sys.stderr)
         return 2
     except Exception as exc:  # compile/runtime diagnostics
+        if debug:  # full tracebacks for service/worker debugging
+            raise
         print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1

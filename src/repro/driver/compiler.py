@@ -9,6 +9,7 @@ simulated machine.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -135,11 +136,27 @@ def compile_unit(unit: A.ProgramUnit,
 
 
 def compile_source(source: str,
-                   options: CompilerOptions | None = None) -> Executable:
+                   options: CompilerOptions | None = None,
+                   cache=None) -> Executable:
     """Compile Fortran 90 source text through the full pipeline.
 
     ``!layout:`` comment directives in the source select explicit data
     layouts (see :mod:`repro.frontend.directives`).
+
+    ``cache`` consults the persistent compile cache
+    (:mod:`repro.service.cache`) before doing any work: pass a
+    :class:`~repro.service.cache.CompileCache`, ``True`` for the default
+    on-disk cache, or ``False`` to force a fresh compile.  The default
+    (``None``) follows ``$REPRO_CACHE`` — set ``REPRO_CACHE=1`` to make
+    every compile in the process cache-backed.
     """
+    if cache is None:
+        cache = os.environ.get("REPRO_CACHE") in ("1", "true", "yes")
+    if cache:
+        from ..service.cache import CompileCache, default_cache
+
+        store = cache if isinstance(cache, CompileCache) else default_cache()
+        exe, _hit = store.compile(source, options)
+        return exe
     layouts = parse_layout_directives(source)
     return compile_unit(parse_program(source), options, layouts=layouts)

@@ -1,0 +1,37 @@
+"""The serving stack: persistent compile cache, worker pool, server.
+
+The paper's whole point is cheap recompilation — NIR programs are
+re-lowered and re-targeted over and over during compiler prototyping —
+so the driver should never redo work it has already done.  This package
+turns the one-shot CLI into a serving stack:
+
+* :mod:`repro.service.cache`   -- content-addressed on-disk compile
+  cache (pickled :class:`~repro.driver.compiler.Executable`\\ s plus
+  warmed PEAC plan specializations) with versioned invalidation and an
+  LRU size cap;
+* :mod:`repro.service.jobs`    -- the request vocabulary
+  (``compile``/``run``/``compare``) shared by every entry point;
+* :mod:`repro.service.pool`    -- a multi-process worker pool with
+  per-job timeouts, retry-once-on-crash, and a graceful single-process
+  fallback;
+* :mod:`repro.service.metrics` -- per-request counters and latency
+  percentiles (cache hit/miss, queue wait, compile vs execute time);
+* :mod:`repro.service.server`  -- a JSON-lines request server
+  (``repro serve``);
+* :mod:`repro.service.batch`   -- the job-file batch runner
+  (``repro batch``).
+"""
+
+from .cache import CompileCache, cache_key, default_cache
+from .jobs import execute_request
+from .metrics import ServiceMetrics
+from .pool import WorkerPool
+
+__all__ = [
+    "CompileCache",
+    "ServiceMetrics",
+    "WorkerPool",
+    "cache_key",
+    "default_cache",
+    "execute_request",
+]

@@ -1,0 +1,76 @@
+"""Job-file batch runner: ``repro batch jobs.jsonl``.
+
+A job file is JSON lines — the same request dicts the server accepts,
+one per line, blank lines and ``#`` comments ignored::
+
+    {"op": "run", "file": "examples/swe.f90", "pes": 2048}
+    {"op": "compile", "source": "program p\\n...\\nend program p"}
+
+The whole file is fanned through a :class:`~repro.service.pool.WorkerPool`
+(so N workers pipeline compiles and runs), results are written as JSON
+lines in job order, and the metrics summary lands on stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .pool import WorkerPool
+
+
+def read_jobs(path: str) -> list[dict]:
+    """Parse a JSON-lines job file (``-`` reads stdin)."""
+    stream = sys.stdin if path == "-" else open(path)
+    jobs = []
+    try:
+        for lineno, raw in enumerate(stream, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                request = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: bad JSON: {exc}") \
+                    from exc
+            if not isinstance(request, dict):
+                raise ValueError(f"{path}:{lineno}: request must be a "
+                                 f"JSON object")
+            jobs.append(request)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    return jobs
+
+
+def run_batch(jobs: list[dict], pool: WorkerPool,
+              out=None) -> list[dict]:
+    """Run every job through the pool; write JSON-lines responses."""
+    results = pool.map(jobs)
+    stream = sys.stdout if out is None else out
+    for response in results:
+        stream.write(json.dumps(response, sort_keys=True) + "\n")
+    stream.flush()
+    return results
+
+
+def batch_main(path: str, pool: WorkerPool, out_path: str | None = None,
+               err=None) -> int:
+    """The ``repro batch`` entry: run a job file, print the summary."""
+    err = sys.stderr if err is None else err
+    jobs = read_jobs(path)
+    if not jobs:
+        print("repro batch: no jobs in file", file=err)
+        return 2
+    mode = pool.mode
+    if out_path:
+        with open(out_path, "w") as f:
+            results = run_batch(jobs, pool, out=f)
+    else:
+        results = run_batch(jobs, pool)
+    pool.close()
+    failed = sum(1 for r in results if not r.get("ok"))
+    print(f"repro batch: {len(jobs)} job(s), {failed} failed "
+          f"({mode} mode, {pool.workers} worker(s))", file=err)
+    print(pool.metrics.summary(), file=err)
+    return 0 if failed == 0 else 1

@@ -1,0 +1,362 @@
+"""Content-addressed, persistent compile cache.
+
+Compiled :class:`~repro.driver.compiler.Executable` objects are keyed by
+the SHA-256 of everything that determines them — the source text, every
+:class:`~repro.driver.compiler.CompilerOptions` switch, an optional
+machine-configuration tag, and the cache schema / package versions — and
+pickled under ``~/.cache/repro`` (or ``$REPRO_CACHE_DIR``).  A key is a
+pure function of its inputs, so a hit is safe to use without any
+staleness check, and any change to the pipeline that should invalidate
+old entries is expressed by bumping :data:`SCHEMA_VERSION`.
+
+Entries also carry the executable's **warmed PEAC plan state**: the
+per-routine binding-signature specializations recorded by
+:class:`~repro.machine.plan.RoutinePlan` during execution.  Plans
+themselves hold ``exec``-compiled kernels and are not picklable, so the
+cache strips ``Routine._plan`` before pickling and persists only the
+``specs`` tables; on load they are re-attached, so a cached executable
+skips the plans' recording mode on its first run.
+
+The store is a flat directory of ``<key>.pkl`` files.  Reads touch the
+entry's mtime; writes go through a temp file + ``os.replace`` so
+concurrent workers never observe a partial pickle; an LRU sweep after
+each write keeps the total size under ``max_bytes`` by deleting the
+oldest-read entries first.  Corrupt or version-skewed entries are
+deleted and reported as misses — the cache is always allowed to forget.
+
+The cache is two-tier: over the disk store sits a small in-process
+**memo** of recently loaded executables, so a long-running server pays
+the unpickle cost once per source, not once per request.  A memo entry
+is only trusted while the disk file's ``stat`` signature (mtime, size)
+is unchanged — eviction, corruption, or replacement by another process
+all invalidate it — and a memo hit returns the *same* ``Executable``
+object as the previous call (plan warmth accumulates across requests;
+executables are immutable apart from their plan caches).  A fresh
+``CompileCache`` instance always starts with an empty memo, so
+cross-process reads exercise the pickle path.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+
+#: Bump to invalidate every existing cache entry (pipeline or pickle
+#: layout changes).  The package version participates in the key too,
+#: so releases never read each other's artifacts.
+SCHEMA_VERSION = 1
+
+_DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+
+def _options_payload(options) -> dict:
+    """A stable, JSON-serializable rendering of CompilerOptions."""
+    return {
+        "target": options.target,
+        "transform": dataclasses.asdict(options.transform),
+        "backend": dataclasses.asdict(options.backend),
+    }
+
+
+def cache_key(source: str, options=None, machine: dict | None = None) -> str:
+    """Content address of a compilation: source + options + versions.
+
+    ``machine`` is an optional JSON-serializable machine-configuration
+    tag for callers whose artifacts depend on more than the pipeline
+    (the core pipeline is machine-independent: geometries are built at
+    run time).
+    """
+    from .. import __version__
+    from ..driver.compiler import CompilerOptions
+
+    options = options or CompilerOptions()
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "repro": __version__,
+        "source": source,
+        "options": _options_payload(options),
+    }
+    if machine:
+        payload["machine"] = machine
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _extract_plan_state(exe) -> dict[str, dict]:
+    """Pop every routine's plan; return {name: specs} for the warm ones."""
+    state: dict[str, dict] = {}
+    for name, routine in exe.routines.items():
+        plan = routine.__dict__.pop("_plan", None)
+        if plan is not None and plan.specs:
+            state[name] = dict(plan.specs)
+    return state
+
+
+def _restore_plan_state(exe, state: dict[str, dict]) -> None:
+    """Re-attach persisted specializations to freshly built plans.
+
+    Spec tokens are assigned deterministically from the routine body,
+    so a rebuilt plan accepts the recorded tables as-is.
+    """
+    from ..machine.plan import get_plan
+
+    for name, specs in state.items():
+        routine = exe.routines.get(name)
+        if routine is not None:
+            get_plan(routine).specs.update(specs)
+
+
+class CompileCache:
+    """A persistent store of compiled executables, LRU-capped by size."""
+
+    def __init__(self, root: str | None = None,
+                 max_bytes: int | None = None,
+                 memo_entries: int = 16) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+                os.path.expanduser("~"), ".cache", "repro")
+        if max_bytes is None:
+            max_bytes = int(os.environ.get("REPRO_CACHE_MAX_BYTES",
+                                           _DEFAULT_MAX_BYTES))
+        self.root = root
+        self.objects = os.path.join(root, "objects")
+        self.max_bytes = max_bytes
+        self.memo_entries = memo_entries
+        self._memo: collections.OrderedDict = collections.OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.memo_hits = 0
+        self.evictions = 0
+        self.errors = 0
+        os.makedirs(self.objects, exist_ok=True)
+        self._check_version()
+
+    # -- versioned invalidation ----------------------------------------
+
+    def _version_tag(self) -> str:
+        from .. import __version__
+
+        return f"{SCHEMA_VERSION}:{__version__}"
+
+    def _check_version(self) -> None:
+        """Purge the store wholesale when the schema/version changes."""
+        marker = os.path.join(self.root, "VERSION")
+        tag = self._version_tag()
+        try:
+            with open(marker) as f:
+                if f.read().strip() == tag:
+                    return
+        except OSError:
+            pass
+        self.clear()
+        with open(marker, "w") as f:
+            f.write(tag + "\n")
+
+    # -- the store ------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.objects, f"{key}.pkl")
+
+    # -- the in-process memo tier --------------------------------------
+
+    def _memo_get(self, key: str, path: str):
+        """The memoized Executable, iff the disk entry is unchanged."""
+        entry = self._memo.get(key)
+        if entry is None:
+            return None
+        exe, sig = entry
+        try:
+            st = os.stat(path)
+        except OSError:
+            self._memo.pop(key, None)
+            return None  # evicted or cleared behind our back
+        if (st.st_mtime_ns, st.st_size) != sig:
+            self._memo.pop(key, None)
+            return None  # rewritten, touched, or corrupted: reload
+        self._memo.move_to_end(key)
+        return exe
+
+    def _memo_put(self, key: str, exe, path: str) -> None:
+        if not self.memo_entries:
+            return
+        try:
+            st = os.stat(path)
+        except OSError:
+            return
+        self._memo[key] = (exe, (st.st_mtime_ns, st.st_size))
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.memo_entries:
+            self._memo.popitem(last=False)
+
+    def get(self, key: str):
+        """The cached Executable for ``key``, or None (a miss)."""
+        path = self._path(key)
+        exe = self._memo_get(key, path)
+        if exe is not None:
+            self.hits += 1
+            self.memo_hits += 1
+            try:
+                os.utime(path)  # LRU touch
+            except OSError:
+                pass
+            self._memo_put(key, exe, path)  # refresh sig after touch
+            return exe
+        try:
+            with open(path, "rb") as f:
+                entry = pickle.load(f)
+            if entry.get("tag") != self._version_tag():
+                raise ValueError(f"version skew in {path}")
+            exe = entry["exe"]
+            _restore_plan_state(exe, entry.get("plans", {}))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt, truncated, or version-skewed: forget it.
+            self.errors += 1
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        self._memo_put(key, exe, path)
+        return exe
+
+    def put(self, key: str, exe) -> None:
+        """Persist an Executable (plus its warmed plan state) under ``key``.
+
+        Plans are stripped for pickling and re-attached before
+        returning, so the caller's executable keeps its compiled fast
+        paths.  The write is atomic; a failed pickle leaves no entry.
+        """
+        plans = _extract_plan_state(exe)
+        try:
+            blob = pickle.dumps(
+                {"tag": self._version_tag(), "exe": exe, "plans": plans},
+                protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            _restore_plan_state(exe, plans)
+        fd, tmp = tempfile.mkstemp(dir=self.objects, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(blob)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            self.errors += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self._memo_put(key, exe, self._path(key))
+        self._evict(keep=key)
+
+    def _evict(self, keep: str | None = None) -> None:
+        """Delete least-recently-used entries until under ``max_bytes``."""
+        entries = []
+        total = 0
+        try:
+            names = os.listdir(self.objects)
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.objects, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path, name))
+            total += st.st_size
+        protected = f"{keep}.pkl" if keep else None
+        for mtime, size, path, name in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            if name == protected:
+                continue  # never evict the entry just written
+            try:
+                os.unlink(path)
+                total -= size
+                self.evictions += 1
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        """Drop every entry (used on version skew and by tests)."""
+        self._memo.clear()
+        try:
+            names = os.listdir(self.objects)
+        except OSError:
+            return
+        for name in names:
+            try:
+                os.unlink(os.path.join(self.objects, name))
+            except OSError:
+                pass
+
+    # -- the compile front door ----------------------------------------
+
+    def compile(self, source: str, options=None):
+        """Compile through the cache; returns ``(executable, hit)``."""
+        from ..driver.compiler import compile_source
+
+        key = cache_key(source, options)
+        exe = self.get(key)
+        if exe is not None:
+            return exe, True
+        exe = compile_source(source, options, cache=False)
+        self.put(key, exe)
+        return exe, False
+
+    def stats(self) -> dict:
+        """Counters plus the store's current footprint."""
+        count = 0
+        total = 0
+        try:
+            for name in os.listdir(self.objects):
+                if name.endswith(".pkl"):
+                    count += 1
+                    try:
+                        total += os.stat(
+                            os.path.join(self.objects, name)).st_size
+                    except OSError:
+                        pass
+        except OSError:
+            pass
+        return {
+            "root": self.root,
+            "entries": count,
+            "bytes": total,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "memo_hits": self.memo_hits,
+            "memo_entries": len(self._memo),
+            "evictions": self.evictions,
+            "errors": self.errors,
+        }
+
+
+_DEFAULT: CompileCache | None = None
+
+
+def default_cache() -> CompileCache:
+    """The process-wide cache at ``$REPRO_CACHE_DIR``/``~/.cache/repro``."""
+    global _DEFAULT
+    root = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro")
+    if _DEFAULT is None or _DEFAULT.root != root:
+        _DEFAULT = CompileCache(root)
+    return _DEFAULT

@@ -1,0 +1,205 @@
+"""The service request vocabulary, shared by every entry point.
+
+A request is one JSON-serializable dict; :func:`execute_request` turns
+it into one JSON-serializable response.  The same function runs inside
+pool worker processes, in the single-process fallback, and under the
+JSON-lines server, so a job file, a socket client, and the CLI all
+speak the same protocol.
+
+Request shapes (``id`` is optional and echoed back verbatim)::
+
+    {"op": "ping"}
+    {"op": "compile", "source": "...", "options": {...}}
+    {"op": "run", "source": "...", "options": {...},
+     "pes": 2048, "model": "slicewise", "exec": "fast"}
+    {"op": "compare", "source": "...", "options": {...},
+     "pes": 2048, "model": "slicewise", "exec": "fast"}
+
+``options`` mirrors the CLI pipeline flags: ``{"naive": bool,
+"neighborhood": bool, "target": "cm2"|"cm5"}``.  ``run`` responses carry
+the same payload as ``repro run --stats-json`` plus the program output;
+every response reports ``cache`` (``"hit"``/``"miss"``/``None``) and
+compile/run wall-clock seconds so the pool can aggregate metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+from .cache import CompileCache, cache_key
+
+
+def build_options(spec: dict | None):
+    """CompilerOptions from a request's ``options`` dict."""
+    from ..driver.compiler import CompilerOptions
+
+    spec = spec or {}
+    if spec.get("naive"):
+        base = CompilerOptions.naive()
+    elif spec.get("neighborhood"):
+        base = CompilerOptions.neighborhood()
+    else:
+        base = CompilerOptions()
+    target = spec.get("target", "cm2")
+    if target != base.target:
+        base = dataclasses.replace(base, target=target)
+    return base
+
+
+def build_machine(request: dict):
+    """A fresh simulated machine from a request's execution fields."""
+    from ..machine import Machine, cm5_model, fieldwise_model, \
+        slicewise_model
+
+    pes = int(request.get("pes", 2048))
+    name = request.get("model", "slicewise")
+    mode = request.get("exec")
+    model = {"fieldwise": fieldwise_model,
+             "cm5": cm5_model}.get(name, slicewise_model)(pes)
+    return Machine(model, exec_mode=mode)
+
+
+def _source_of(request: dict) -> str:
+    if "source" in request:
+        return request["source"]
+    if "file" in request:
+        with open(request["file"]) as f:
+            return f.read()
+    raise ValueError("request needs 'source' or 'file'")
+
+
+def _compile(request: dict, cache: CompileCache | None):
+    """Compile a request's source; returns (exe, key, cache_state, secs)."""
+    from ..driver.compiler import compile_source
+
+    source = _source_of(request)
+    options = build_options(request.get("options"))
+    t0 = time.perf_counter()
+    if cache is not None:
+        key = cache_key(source, options)
+        exe, hit = cache.compile(source, options)
+        state = "hit" if hit else "miss"
+    else:
+        key = None
+        exe = compile_source(source, options, cache=False)
+        state = None
+    return exe, key, state, time.perf_counter() - t0
+
+
+def speedup_str(cycles: int, base: int) -> str:
+    """Cycle-ratio rendering, guarded against zero-work base programs."""
+    if base == 0:
+        return "n/a (zero-cycle base)"
+    return f"{cycles / base:.2f}x"
+
+
+def run_compare(source: str, pes: int = 2048,
+                exec_mode: str | None = None, options=None) -> dict:
+    """The §6 three-compiler comparison as a structured payload."""
+    from ..baselines import compile_cmfortran, compile_starlisp
+    from ..driver.compiler import CompilerOptions, compile_source
+    from ..machine import Machine, fieldwise_model, slicewise_model
+
+    rows = []
+    for label, exe, model in (
+            ("*Lisp (fieldwise)", compile_starlisp(source),
+             fieldwise_model(pes)),
+            ("CM Fortran v1.1", compile_cmfortran(source),
+             slicewise_model(pes)),
+            ("Fortran-90-Y",
+             compile_source(source, options or CompilerOptions(),
+                            cache=False),
+             slicewise_model(pes))):
+        result = exe.run(Machine(model, exec_mode=exec_mode))
+        rows.append({
+            "label": label,
+            "gflops": result.gflops(),
+            "total_cycles": result.stats.total_cycles,
+            "node_calls": result.stats.node_calls,
+        })
+    base = rows[-1]["total_cycles"]
+    speedups = [{"over": row["label"],
+                 "speedup": speedup_str(row["total_cycles"], base)}
+                for row in rows[:-1]]
+    return {"rows": rows, "speedups": speedups}
+
+
+def execute_request(request: dict,
+                    cache: CompileCache | None = None) -> dict:
+    """Execute one request dict, never raising: errors become responses."""
+    base = {"op": request.get("op"), "ok": True}
+    if "id" in request:
+        base["id"] = request["id"]
+    try:
+        base.update(_dispatch(request, cache))
+    except Exception as exc:
+        base["ok"] = False
+        base["error"] = {"type": type(exc).__name__, "message": str(exc)}
+        if os.environ.get("REPRO_DEBUG") == "1":
+            import traceback
+
+            base["error"]["traceback"] = traceback.format_exc()
+    return base
+
+
+def _dispatch(request: dict, cache: CompileCache | None) -> dict:
+    op = request.get("op")
+    if op == "ping":
+        return {"pid": os.getpid()}
+    if op == "compile":
+        exe, _key, state, secs = _compile(request, cache)
+        return {
+            "cache": state,
+            "timings": {"compile_seconds": secs},
+            "partition": {
+                "compute_blocks": exe.partition.compute_blocks,
+                "comm_phases": exe.partition.comm_phases,
+                "reductions": exe.partition.reductions,
+                "serial_moves": exe.partition.serial_moves,
+            },
+            "routines": sorted(exe.routines),
+        }
+    if op == "run":
+        exe, key, state, compile_s = _compile(request, cache)
+        machine = build_machine(request)
+        t0 = time.perf_counter()
+        result = exe.run(machine)
+        run_s = time.perf_counter() - t0
+        if cache is not None and state == "miss":
+            # Re-persist so the entry carries the now-warm plan
+            # specializations: the next load skips recording mode.
+            cache.put(key, exe)
+        return {
+            "cache": state,
+            "timings": {"compile_seconds": compile_s,
+                        "run_seconds": run_s},
+            "model": machine.model.name,
+            "exec_mode": machine.exec_mode,
+            "compile_seconds": compile_s,
+            "run_seconds": run_s,
+            "gflops": result.gflops(),
+            "stats": result.stats.to_dict(),
+            "output": list(result.output),
+        }
+    if op == "compare":
+        source = _source_of(request)
+        t0 = time.perf_counter()
+        payload = run_compare(source, pes=int(request.get("pes", 2048)),
+                              exec_mode=request.get("exec"),
+                              options=build_options(request.get("options")))
+        payload["timings"] = {"run_seconds": time.perf_counter() - t0}
+        return payload
+    if op == "_sleep":  # test/ops hook: a slow job
+        time.sleep(float(request.get("seconds", 1.0)))
+        return {"slept": float(request.get("seconds", 1.0))}
+    if op == "_crash":  # test/ops hook: a worker that dies mid-job
+        marker = request.get("once")
+        if marker and os.path.exists(marker):
+            return {"survived": True}
+        if marker:
+            with open(marker, "w") as f:
+                f.write("crashed\n")
+        os._exit(13)
+    raise ValueError(f"unknown op {op!r}")

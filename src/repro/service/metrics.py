@@ -1,0 +1,150 @@
+"""Per-request service metrics: counters and latency percentiles.
+
+Workers run in separate processes, so metrics live in the *parent*:
+every response carries its own compile/run wall-clock timings (see
+:mod:`repro.service.jobs`), the pool stamps queue-wait and total
+latency, and :meth:`ServiceMetrics.observe` folds each response in.
+``snapshot()`` is the ``stats`` request payload; ``summary()`` is the
+shutdown report.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty list."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class LatencyStat:
+    """A bounded reservoir of latency samples (seconds).
+
+    Past ``cap`` samples, new observations overwrite the reservoir
+    round-robin — deterministic, allocation-free, and good enough for
+    p50/p95 over a serving window.  Totals keep exact count/sum.
+    """
+
+    def __init__(self, cap: int = 4096) -> None:
+        self.cap = cap
+        self.samples: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.peak = 0.0
+
+    def add(self, seconds: float) -> None:
+        if len(self.samples) < self.cap:
+            self.samples.append(seconds)
+        else:
+            self.samples[self.count % self.cap] = seconds
+        self.count += 1
+        self.total += seconds
+        self.peak = max(self.peak, seconds)
+
+    def snapshot(self) -> dict:
+        if not self.samples:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.total / self.count,
+            "p50": percentile(self.samples, 50),
+            "p95": percentile(self.samples, 95),
+            "max": self.peak,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe rollup of everything a serving run did."""
+
+    STATS = ("queue_wait", "compile", "run", "total")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.errors = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.per_op: dict[str, int] = {}
+        self.latency = {name: LatencyStat() for name in self.STATS}
+
+    # ------------------------------------------------------------------
+
+    def observe(self, response: dict, queue_wait: float | None = None,
+                total: float | None = None) -> None:
+        """Fold one response (plus pool-side timings) into the rollup."""
+        with self._lock:
+            self.requests += 1
+            op = str(response.get("op"))
+            self.per_op[op] = self.per_op.get(op, 0) + 1
+            if not response.get("ok", False):
+                self.errors += 1
+                error = response.get("error") or {}
+                if error.get("type") == "JobTimeout":
+                    self.timeouts += 1
+            cache = response.get("cache")
+            if cache == "hit":
+                self.cache_hits += 1
+            elif cache == "miss":
+                self.cache_misses += 1
+            timings = response.get("timings") or {}
+            if "compile_seconds" in timings:
+                self.latency["compile"].add(timings["compile_seconds"])
+            if "run_seconds" in timings:
+                self.latency["run"].add(timings["run_seconds"])
+            if queue_wait is not None:
+                self.latency["queue_wait"].add(queue_wait)
+            if total is not None:
+                self.latency["total"].add(total)
+
+    def count_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            lookups = self.cache_hits + self.cache_misses
+            return {
+                "requests": self.requests,
+                "errors": self.errors,
+                "timeouts": self.timeouts,
+                "retries": self.retries,
+                "per_op": dict(self.per_op),
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "hit_rate": (self.cache_hits / lookups) if lookups
+                                else None,
+                },
+                "latency_seconds": {name: stat.snapshot()
+                                    for name, stat in self.latency.items()},
+            }
+
+    def summary(self) -> str:
+        """The human shutdown report."""
+        snap = self.snapshot()
+        cache = snap["cache"]
+        rate = (f"{cache['hit_rate']:.1%}"
+                if cache["hit_rate"] is not None else "n/a")
+        lines = [
+            f"requests {snap['requests']}  errors {snap['errors']}  "
+            f"timeouts {snap['timeouts']}  retries {snap['retries']}",
+            f"cache    {cache['hits']} hits / {cache['misses']} misses "
+            f"(hit rate {rate})",
+        ]
+        for name in self.STATS:
+            stat = snap["latency_seconds"][name]
+            if stat["count"]:
+                lines.append(
+                    f"{name:<10} p50 {stat['p50'] * 1e3:8.1f}ms  "
+                    f"p95 {stat['p95'] * 1e3:8.1f}ms  "
+                    f"max {stat['max'] * 1e3:8.1f}ms  "
+                    f"({stat['count']} samples)")
+        return "\n".join(lines)

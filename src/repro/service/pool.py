@@ -1,0 +1,347 @@
+"""Multi-process worker pool for compile/run jobs.
+
+The pool fans requests out over ``multiprocessing`` workers.  The
+parent owns all scheduling state: each worker has its *own* pair of
+pipes (one for tasks, one for results) and the parent assigns one job
+at a time to an idle worker, so it always knows exactly which job a
+worker holds — even if that worker dies without managing to send
+anything back (a shared task queue would lose that attribution, and
+with it the job).  Private pipes also mean *no shared locks*: a
+``multiprocessing.Queue`` guards its pipe with a cross-process
+semaphore, and a worker that dies inside that critical section (its
+feeder thread mid-``put`` when the process is killed) leaves the
+semaphore acquired forever, wedging every other worker's sends.  With
+one single-writer pipe per worker, a dying worker can corrupt only its
+own channel, which the parent drains and replaces at respawn.  This
+lets the parent:
+
+* enforce a **per-job timeout** — the worker is terminated and replaced,
+  the job answered with a ``JobTimeout`` error, the rest of the batch
+  unaffected;
+* **retry once on crash** — a worker that dies mid-job (OOM, hard
+  fault, ``os._exit``) is respawned and the job reassigned; a second
+  crash returns a ``WorkerCrash`` error instead of looping;
+* fall back **gracefully to a single process** — with ``workers <= 1``,
+  under ``REPRO_SERVICE_INPROC=1``, or when process creation fails,
+  jobs run inline through the exact same request path (timeouts are
+  then advisory only).
+
+Workers coordinate through the on-disk compile cache, not through
+memory: each opens a :class:`~repro.service.cache.CompileCache` on the
+same root, so a source compiled by one worker is a pickle-load for
+every other — and for every later serving run.
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+import time
+
+from .cache import CompileCache, default_cache
+from .jobs import execute_request
+from .metrics import ServiceMetrics
+
+_POLL_SECONDS = 0.05
+
+
+def _worker_main(worker_id: int, task_r, result_w,
+                 cache_root: str | None) -> None:
+    """One worker process: pull jobs until the ``None`` sentinel."""
+    cache = CompileCache(cache_root) if cache_root else None
+    while True:
+        try:
+            item = task_r.recv()
+        except (EOFError, OSError):
+            return  # parent closed the pipe (or died): shut down
+        if item is None:
+            return
+        job_id, request = item
+        response = execute_request(request, cache)
+        try:
+            result_w.send(("done", job_id, worker_id, response))
+        except (EOFError, OSError):
+            return
+
+
+class _Job:
+    __slots__ = ("request", "first_submit", "start", "worker", "attempts",
+                 "response")
+
+    def __init__(self, request: dict, now: float) -> None:
+        self.request = request
+        self.first_submit = now
+        self.start: float | None = None   # last assignment time
+        self.worker: int | None = None
+        self.attempts = 0
+        self.response: dict | None = None
+
+
+class WorkerPool:
+    """Schedules service requests over worker processes (or inline)."""
+
+    def __init__(self, workers: int = 1, *, timeout: float | None = None,
+                 retries: int = 1,
+                 cache: CompileCache | str | bool | None = None,
+                 metrics: ServiceMetrics | None = None) -> None:
+        self.timeout = timeout
+        self.retries = retries
+        self.metrics = metrics or ServiceMetrics()
+        if cache is True:
+            self.cache: CompileCache | None = default_cache()
+        elif isinstance(cache, str):
+            self.cache = CompileCache(cache)
+        elif isinstance(cache, CompileCache):
+            self.cache = cache
+        else:
+            self.cache = None
+        self._cache_root = self.cache.root if self.cache else None
+        self._lock = threading.Lock()
+        self.workers = max(1, int(workers))
+        self._procs: list = []
+        self.mode = "inline"
+        if (self.workers > 1
+                and os.environ.get("REPRO_SERVICE_INPROC") != "1"):
+            self._start_pool()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _start_pool(self) -> None:
+        try:
+            try:
+                self._ctx = multiprocessing.get_context("fork")
+            except ValueError:
+                self._ctx = multiprocessing.get_context("spawn")
+            self._task_ws: list = [None] * self.workers
+            self._result_rs: list = [None] * self.workers
+            self._procs = [None] * self.workers
+            for i in range(self.workers):
+                self._procs[i] = self._spawn(i)
+            self.mode = "pool"
+        except Exception:
+            # No fork/spawn available (restricted sandbox): run inline.
+            self._procs = []
+            self.mode = "inline"
+
+    def _spawn(self, worker_id: int):
+        """Start worker ``worker_id`` on a fresh pair of private pipes."""
+        task_r, task_w = self._ctx.Pipe(duplex=False)
+        result_r, result_w = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, task_r, result_w, self._cache_root),
+            daemon=True)
+        proc.start()
+        # Drop the parent's copies of the worker-side ends so a dead
+        # worker reads as EOF instead of a silent hang.
+        task_r.close()
+        result_w.close()
+        self._task_ws[worker_id] = task_w
+        self._result_rs[worker_id] = result_r
+        return proc
+
+    def _respawn(self, worker_id: int) -> None:
+        proc = self._procs[worker_id]
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=2.0)
+        for conn in (self._task_ws[worker_id], self._result_rs[worker_id]):
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self._procs[worker_id] = self._spawn(worker_id)
+
+    def _drain(self, worker_id: int) -> list:
+        """Salvage complete responses a dead worker left in its pipe."""
+        conn = self._result_rs[worker_id]
+        messages = []
+        while True:
+            try:
+                if conn is None or not conn.poll(0):
+                    break
+                messages.append(conn.recv())
+            except (EOFError, OSError):
+                break  # truncated by the crash: discard the rest
+        return messages
+
+    def close(self) -> None:
+        """Stop every worker; the pool cannot be used afterwards."""
+        if self.mode != "pool":
+            self.mode = "closed"
+            return
+        for task_w, proc in zip(self._task_ws, self._procs):
+            if proc.is_alive():
+                try:
+                    task_w.send(None)
+                except (EOFError, OSError):
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in (*self._task_ws, *self._result_rs):
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self.mode = "closed"
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, request: dict) -> dict:
+        return self.map([request])[0]
+
+    def map(self, requests: list[dict]) -> list[dict]:
+        """Run every request; responses in request order.
+
+        Thread-safe (the server calls this from handler threads); calls
+        serialize at the pool, jobs within a call run concurrently.
+        """
+        with self._lock:
+            if self.mode == "closed":
+                raise RuntimeError("pool is closed")
+            if self.mode == "inline":
+                return [self._run_inline(r) for r in requests]
+            return self._run_pool(requests)
+
+    def _run_inline(self, request: dict) -> dict:
+        t0 = time.monotonic()
+        response = execute_request(request, self.cache)
+        total = time.monotonic() - t0
+        response["pool"] = {"mode": "inline", "attempts": 1,
+                            "queue_wait_seconds": 0.0,
+                            "total_seconds": total}
+        self.metrics.observe(response, queue_wait=0.0, total=total)
+        return response
+
+    # -- the multi-process scheduler -----------------------------------
+
+    def _run_pool(self, requests: list[dict]) -> list[dict]:
+        now = time.monotonic()
+        jobs = {i: _Job(r, now) for i, r in enumerate(requests)}
+        unfinished = set(jobs)
+        pending = collections.deque(range(len(requests)))
+        assigned: dict[int, int] = {}          # worker id -> job id
+        idle = set(range(self.workers))
+
+        def finish(job_id: int, response: dict) -> None:
+            job = jobs[job_id]
+            job.response = response
+            unfinished.discard(job_id)
+            total = time.monotonic() - job.first_submit
+            wait = ((job.start - job.first_submit)
+                    if job.start is not None else total)
+            response["pool"] = {
+                "mode": "pool", "worker": job.worker,
+                "attempts": job.attempts + 1,
+                "queue_wait_seconds": wait, "total_seconds": total,
+            }
+            self.metrics.observe(response, queue_wait=wait, total=total)
+
+        def deliver(msg) -> None:
+            _kind, job_id, worker_id, response = msg
+            # A stale answer (job already timed out, worker already
+            # replaced) no longer matches the assignment: drop it.
+            if assigned.get(worker_id) == job_id:
+                del assigned[worker_id]
+                idle.add(worker_id)
+                if job_id in unfinished:
+                    finish(job_id, response)
+
+        while unfinished:
+            while pending and idle:
+                worker_id = idle.pop()
+                job_id = pending.popleft()
+                job = jobs[job_id]
+                job.start = time.monotonic()
+                job.worker = worker_id
+                try:
+                    self._task_ws[worker_id].send((job_id, job.request))
+                except (EOFError, OSError):
+                    # Worker died while idle: requeue (no attempt burnt),
+                    # leave it out of the idle set for the crash sweep.
+                    pending.appendleft(job_id)
+                    job.start = None
+                    job.worker = None
+                    continue
+                assigned[worker_id] = job_id
+            try:
+                ready = multiprocessing.connection.wait(
+                    [c for c in self._result_rs if c is not None],
+                    timeout=_POLL_SECONDS)
+            except OSError:
+                ready = []
+            for conn in ready:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    continue  # dead worker: the crash sweep handles it
+                deliver(msg)
+            self._reap_timeouts(jobs, assigned, idle, finish)
+            self._reap_crashes(jobs, pending, assigned, idle, deliver,
+                               finish)
+        return [jobs[i].response for i in range(len(requests))]
+
+    def _reap_timeouts(self, jobs, assigned, idle, finish) -> None:
+        if not self.timeout:
+            return
+        now = time.monotonic()
+        for worker_id, job_id in list(assigned.items()):
+            job = jobs[job_id]
+            if now - job.start <= self.timeout:
+                continue
+            # The job gets a timeout answer, not a retry (it would just
+            # time out again); its worker is replaced immediately so
+            # the crash sweep never sees the deliberate kill.
+            self._respawn(worker_id)
+            del assigned[worker_id]
+            idle.add(worker_id)
+            finish(job_id, {
+                "op": job.request.get("op"), "ok": False,
+                "error": {"type": "JobTimeout",
+                          "message": f"job exceeded {self.timeout:.1f}s "
+                                     f"(attempt {job.attempts + 1})"}})
+
+    def _reap_crashes(self, jobs, pending, assigned, idle, deliver,
+                      finish) -> None:
+        for worker_id, proc in enumerate(self._procs):
+            if proc.is_alive():
+                continue
+            # A worker that finished its job and then died left the
+            # response in its pipe: deliver it rather than re-running.
+            for msg in self._drain(worker_id):
+                deliver(msg)
+            job_id = assigned.pop(worker_id, None)
+            self._respawn(worker_id)
+            idle.add(worker_id)
+            if job_id is None:
+                continue  # died idle: just replace it
+            job = jobs[job_id]
+            job.attempts += 1
+            if job.attempts <= self.retries:
+                self.metrics.count_retry()
+                job.start = None
+                job.worker = None
+                pending.append(job_id)
+            else:
+                finish(job_id, {
+                    "op": job.request.get("op"), "ok": False,
+                    "error": {"type": "WorkerCrash",
+                              "message": f"worker died "
+                                         f"{job.attempts + 1} times "
+                                         f"running this job (exit "
+                                         f"{proc.exitcode})"}})

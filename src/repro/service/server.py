@@ -1,0 +1,139 @@
+"""JSON-lines request server: ``repro serve``.
+
+The wire protocol is one JSON object per line, one response line per
+request — trivially scriptable (``nc``, a four-line Python client, a CI
+smoke job) and identical to the batch-runner job file format, so the
+same request dicts flow through either front door.
+
+Besides the job ops (:mod:`repro.service.jobs`), the server answers:
+
+* ``{"op": "stats"}``     — metrics snapshot + cache stats + pool info;
+* ``{"op": "batch", "requests": [...]}`` — fan a list through the pool
+  in one round trip (responses in order, under ``"results"``);
+* ``{"op": "shutdown"}``  — acknowledge, then stop the server.
+
+Connections are handled on threads; jobs serialize at the pool's
+scheduler but still fan out across its workers.  A shutdown (or
+Ctrl-C) prints the metrics summary.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import sys
+import threading
+
+from .metrics import ServiceMetrics
+from .pool import WorkerPool
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: ReproServer = self.server  # type: ignore[assignment]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            response = server.handle_request_line(line)
+            self.wfile.write((json.dumps(response, sort_keys=True)
+                              + "\n").encode())
+            self.wfile.flush()
+            if response.get("op") == "shutdown" and response.get("ok"):
+                threading.Thread(target=server.shutdown,
+                                 daemon=True).start()
+                return
+
+
+class ReproServer(socketserver.ThreadingTCPServer):
+    """A JSON-lines compile-and-run service over one listening socket."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 pool: WorkerPool | None = None) -> None:
+        self.pool = pool or WorkerPool(workers=1, cache=True)
+        self.metrics: ServiceMetrics = self.pool.metrics
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — port is concrete even when 0 was
+        requested."""
+        return self.socket.getsockname()[:2]
+
+    # ------------------------------------------------------------------
+
+    def handle_request_line(self, line: str) -> dict:
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            return {"ok": False, "op": None,
+                    "error": {"type": "BadRequest", "message": str(exc)}}
+        op = request.get("op")
+        if op == "stats":
+            return {
+                "ok": True, "op": "stats",
+                "metrics": self.metrics.snapshot(),
+                "cache": (self.pool.cache.stats()
+                          if self.pool.cache else None),
+                "pool": {"mode": self.pool.mode,
+                         "workers": self.pool.workers,
+                         "timeout": self.pool.timeout},
+            }
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown"}
+        if op == "batch":
+            requests = request.get("requests")
+            if not isinstance(requests, list):
+                return {"ok": False, "op": "batch",
+                        "error": {"type": "BadRequest",
+                                  "message": "'requests' must be a list"}}
+            return {"ok": True, "op": "batch",
+                    "results": self.pool.map(requests)}
+        return self.pool.execute(request)
+
+    # -- background-thread helpers (tests, embedding) -------------------
+
+    def start(self) -> threading.Thread:
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+
+
+def send_request(address: tuple[str, int], request: dict,
+                 timeout: float = 30.0) -> dict:
+    """One-shot client: connect, send one request line, read the reply."""
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall((json.dumps(request) + "\n").encode())
+        reader = sock.makefile("rb")
+        line = reader.readline()
+    if not line:
+        raise ConnectionError("server closed the connection")
+    return json.loads(line)
+
+
+def serve(host: str, port: int, pool: WorkerPool,
+          out=sys.stderr) -> int:
+    """Run the server until shutdown; print the metrics summary."""
+    with ReproServer(host, port, pool=pool) as server:
+        bound_host, bound_port = server.address
+        print(f"repro serve: listening on {bound_host}:{bound_port} "
+              f"({pool.mode} mode, {pool.workers} worker(s))",
+              file=out, flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+    pool.close()
+    print("repro serve: shutdown summary", file=out)
+    print(server.metrics.summary(), file=out)
+    return 0

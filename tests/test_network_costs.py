@@ -1,0 +1,135 @@
+"""Edge cases of the hypercube network cost models (machine/network.py).
+
+The tariffs must stay well-defined on degenerate geometries: zero-element
+arrays (allocatable corners, empty sections), shifts that wrap a full
+axis, and axes held entirely in-processor (where a CSHIFT degenerates to
+the local block copy and a halo exchange to nothing).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.machine import slicewise_model
+from repro.machine.geometry import Geometry, make_geometry
+from repro.machine.network import (
+    cshift_cycles,
+    halo_exchange_cycles,
+    router_cycles,
+)
+
+MODEL = slicewise_model(n_pes=64)
+
+
+def zero_geometry(spread: bool) -> Geometry:
+    """A zero-element shape laid out across PEs (or on one PE)."""
+    if spread:
+        return Geometry(extents=(0, 8), pe_grid=(1, 4), subgrid=(0, 2))
+    return Geometry(extents=(0, 8), pe_grid=(1, 1), subgrid=(0, 8))
+
+
+# -- zero-element geometries ------------------------------------------------
+
+
+def test_cshift_zero_elements_is_free():
+    for spread in (False, True):
+        geom = zero_geometry(spread)
+        assert geom.total_elements == 0
+        assert cshift_cycles(MODEL, geom, axis=1, shift=1) == 0
+        assert cshift_cycles(MODEL, geom, axis=2, shift=3) == 0
+
+
+def test_halo_exchange_zero_elements():
+    # No PEs along the axis: nothing crosses, exchange is free.
+    geom = zero_geometry(spread=False)
+    assert halo_exchange_cycles(MODEL, geom, axis=2, shift=1) == 0
+    # PEs along the axis but an empty subgrid: columns "cross" with a
+    # zero payload, so only the wire latency is charged.
+    geom = zero_geometry(spread=True)
+    assert geom.vlen == 0
+    assert halo_exchange_cycles(MODEL, geom, axis=2, shift=1) \
+        == MODEL.grid_latency
+
+
+def test_router_zero_elements_charges_latency_only():
+    geom = zero_geometry(spread=True)
+    assert router_cycles(MODEL, geom) == MODEL.router_latency
+    # An explicit per-PE element count overrides the geometry's vlen.
+    assert router_cycles(MODEL, geom, elements_per_pe=5) \
+        == MODEL.router_latency + 5 * MODEL.router_per_element
+    assert router_cycles(MODEL, geom, elements_per_pe=0) \
+        == MODEL.router_latency
+
+
+# -- full-axis wraps --------------------------------------------------------
+
+
+def test_cshift_full_axis_wrap():
+    """shift == extent: every subgrid column crosses, hops span the
+    whole PE row — the most expensive circular shift on the axis."""
+    geom = make_geometry((8,), 4)
+    assert geom.subgrid == (2,) and geom.pe_grid == (4,)
+    full = cshift_cycles(MODEL, geom, axis=1, shift=8)
+    one = cshift_cycles(MODEL, geom, axis=1, shift=1)
+    local_copy = math.ceil(geom.vlen / 4) * MODEL.instr.move
+    # All columns cross (capped at the subgrid extent), data travels
+    # the full pe_grid distance.
+    cols = geom.boundary_columns(0, 8)
+    assert cols == geom.subgrid[0]
+    assert geom.hops(0, 8) == 4
+    expected = (MODEL.grid_latency + local_copy
+                + (geom.vlen // geom.subgrid[0]) * cols
+                * MODEL.grid_per_element * 4)
+    assert full == expected
+    assert full > one  # wrapping the axis costs more than a unit shift
+
+
+def test_halo_exchange_full_axis_wrap_matches_formula():
+    geom = make_geometry((16, 16), 16)
+    axis0 = 0
+    shift = geom.extents[axis0]
+    cols = geom.boundary_columns(axis0, shift)
+    hops = geom.hops(axis0, shift)
+    assert cols == geom.subgrid[axis0]
+    expected = (MODEL.grid_latency
+                + (geom.vlen // geom.subgrid[axis0]) * cols
+                * MODEL.grid_per_element * hops)
+    assert halo_exchange_cycles(MODEL, geom, axis=1, shift=shift) \
+        == expected
+    # A full wrap is never cheaper than the unit-shift halo.
+    assert halo_exchange_cycles(MODEL, geom, axis=1, shift=shift) \
+        >= halo_exchange_cycles(MODEL, geom, axis=1, shift=1)
+
+
+# -- the crossing_cols == 0 local-copy path ---------------------------------
+
+
+@pytest.mark.parametrize("shift", [0, 1, -3, 8])
+def test_cshift_serial_axis_is_local_copy(shift):
+    """One PE along the axis (a ``!layout: serial`` axis): nothing
+    crosses a wire, any shift is a pure in-processor block copy (and
+    charges no grid latency)."""
+    geom = make_geometry((8, 8), 8, ("news", "serial"))
+    serial_axis0 = 1
+    assert geom.pe_grid[serial_axis0] == 1
+    assert geom.boundary_columns(serial_axis0, shift) == 0
+    local_copy = math.ceil(geom.vlen / 4) * MODEL.instr.move
+    assert cshift_cycles(MODEL, geom, axis=serial_axis0 + 1, shift=shift) \
+        == local_copy
+
+
+def test_cshift_zero_shift_is_local_copy_even_when_spread():
+    geom = make_geometry((8,), 4)
+    assert geom.boundary_columns(0, 0) == 0
+    local_copy = math.ceil(geom.vlen / 4) * MODEL.instr.move
+    assert cshift_cycles(MODEL, geom, axis=1, shift=0) == local_copy
+
+
+def test_halo_exchange_serial_axis_is_free():
+    """Unlike CSHIFT, the neighborhood model's halo stream makes no
+    local copy: a serial axis exchanges nothing and costs nothing."""
+    geom = make_geometry((8, 8), 8, ("news", "serial"))
+    assert geom.pe_grid[1] == 1
+    assert halo_exchange_cycles(MODEL, geom, axis=2, shift=2) == 0
