@@ -1,0 +1,35 @@
+"""Static verifier suite and lint diagnostics engine.
+
+Three verifier levels over the compiler's own output, plus a
+user-facing lint front end:
+
+* :mod:`.nir_verifier`  — NIR well-formedness (V3xx), runnable
+  standalone and between every transform pass under ``REPRO_VERIFY=1``;
+* :mod:`.dep_audit`     — dependence preservation of the blocking stage
+  (D4xx), recomputed from scratch rather than trusted;
+* :mod:`.peac_verifier` — PEAC routine invariants (P5xx): register
+  lifetimes, spill/restore pairing, chaining and dual-issue legality;
+* :mod:`.lint`          — ``repro lint``: frontend + semantic analysis
+  with source-located diagnostics (F0xx/S1xx errors, W2xx warnings).
+
+This package root stays import-light (diagnostics only); the verifier
+modules import the compiler layers they check, so pull them in lazily
+from pipeline/driver/service code to avoid cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .diagnostics import (Diagnostic, DiagnosticSink, Severity,
+                          VerifyError, error, warning)
+
+__all__ = [
+    "Diagnostic", "DiagnosticSink", "Severity", "VerifyError",
+    "error", "warning", "verify_enabled",
+]
+
+
+def verify_enabled() -> bool:
+    """True when ``REPRO_VERIFY=1`` asks for inter-pass verification."""
+    return os.environ.get("REPRO_VERIFY") == "1"

@@ -1,0 +1,315 @@
+"""The ``repro lint`` engine: frontend + semantic analysis, no codegen.
+
+Runs the lexer, parser, declaration processing, and per-statement
+semantic lowering over a Fortran source file, converting every failure
+into a source-located :class:`Diagnostic` instead of stopping at the
+first exception the compile path would raise.  On top of the error
+codes (``F0xx`` frontend, ``S1xx`` semantic) it adds flow-insensitive
+warnings the compiler itself never needs:
+
+* ``W201`` — a scalar is read before any statement sets it,
+* ``W202`` — an array assignment reads the target array through a
+  region that overlaps, but does not equal, the stored region (the
+  Fortran-90 right-hand side is evaluated fully before the store, so
+  such statements need a compiler temporary and often signal a
+  shifted-recurrence mistake),
+* ``W203`` — a declared entity is never referenced.
+
+Exit-code contract (``LintResult.exit_code``): 0 clean; 1 warnings
+only; 2 any error, or warnings under ``--strict``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import nir
+from ..frontend import ast_nodes as A
+from ..frontend.lexer import LexError
+from ..frontend.parser import ParseError, parse_program
+from ..lowering.environment import (Environment, LoweringError,
+                                    declare_type_decl)
+from ..lowering.lower import Lowerer, lower_program
+from ..sourceloc import SourceLoc
+from ..transform.regions import (region_of_field, regions_equal,
+                                 regions_overlap)
+from .diagnostics import Diagnostic, Severity, error, warning
+from .nir_verifier import verify_program
+
+
+@dataclass
+class LintResult:
+    """All diagnostics for one source file plus the exit-code contract."""
+
+    file: str | None
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.errors:
+            return 2
+        if self.warnings:
+            return 2 if strict else 1
+        return 0
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def lint_source(source: str, path: str | None = None) -> LintResult:
+    """Lint Fortran source text; never raises on bad input."""
+    result = LintResult(file=path)
+    add = result.diagnostics.append
+
+    try:
+        unit = parse_program(source)
+    except LexError as exc:
+        add(error("F001", exc.args[0] if exc.args else str(exc),
+                  SourceLoc(exc.line, exc.col), path))
+        return result
+    except ParseError as exc:
+        loc = SourceLoc(exc.token.line, exc.token.col) \
+            if exc.token is not None else None
+        add(error("F002", str(exc), loc, path))
+        return result
+
+    env = Environment()
+    for decl in unit.decls:
+        try:
+            declare_type_decl(env, decl)
+        except LoweringError as exc:
+            add(error("S101", str(exc), _loc_of_exc(exc), path))
+
+    lowerer = Lowerer(unit, env=env)
+    lowered: list[nir.Imperative] = []
+    for stmt in unit.body:
+        try:
+            lowered.append(lowerer.lower_imperative(stmt))
+        except (LoweringError, nir.TypeError_, nir.ShapeError) as exc:
+            add(Diagnostic(_semantic_code(exc), str(exc), Severity.ERROR,
+                           _loc_of_exc(exc), path))
+
+    _warn_use_before_set(unit, env, result, path)
+    _warn_aliasing(lowered, env, result, path)
+    _warn_unused(unit, env, result, path)
+
+    if not result.errors:
+        # Whole-program pass: the NIR verifier re-derives every type and
+        # shape over the assembled program, catching violations the
+        # per-statement walk cannot see (e.g. type mixing, which only
+        # program-level checking enforces).  V-codes map back to their
+        # semantic S-codes for the user.
+        vmap = {"V301": "S102", "V302": "S106", "V303": "S104"}
+        try:
+            low = lower_program(parse_program(source))
+        except (LoweringError, nir.TypeError_, nir.ShapeError) as exc:
+            add(error("S108", str(exc), _loc_of_exc(exc), path))
+        else:
+            for d in verify_program(low.nir, low.env):
+                add(Diagnostic(vmap.get(d.code, "S108"), d.message,
+                               d.severity, d.loc, path))
+
+    result.diagnostics.sort(key=lambda d: (d.line, d.col, d.code))
+    return result
+
+
+def lint_file(path: str) -> LintResult:
+    with open(path, encoding="utf-8") as f:
+        return lint_source(f.read(), path)
+
+
+def format_text(result: LintResult) -> str:
+    lines = [d.format() for d in result.diagnostics]
+    lines.append(f"{result.file or '<stdin>'}: {len(result.errors)} "
+                 f"error(s), {len(result.warnings)} warning(s)")
+    return "\n".join(lines)
+
+
+def _loc_of_exc(exc: Exception) -> SourceLoc | None:
+    return getattr(exc, "source_loc", None)
+
+
+def _semantic_code(exc: Exception) -> str:
+    """Map a lowering-time exception to its S1xx diagnostic code."""
+    msg = str(exc)
+    if isinstance(exc, nir.ShapeError):
+        return "S105" if "rank" in msg else "S104"
+    if isinstance(exc, nir.TypeError_):
+        return "S106"
+    if "undeclared identifier" in msg:
+        return "S102"
+    if "unknown function or array" in msg or "intrinsic" in msg:
+        return "S103"
+    return "S107"
+
+
+# ---------------------------------------------------------------------------
+# Warnings
+# ---------------------------------------------------------------------------
+
+
+def _expr_reads(expr: A.Expr):
+    """(name, loc) for every variable read inside an expression."""
+    for e in A.walk_exprs(expr):
+        if isinstance(e, (A.VarRef, A.ArrayRef)):
+            yield e.name.lower(), e.loc
+
+
+def _warn_use_before_set(unit: A.ProgramUnit, env: Environment,
+                         result: LintResult, path: str | None) -> None:
+    """W201: scalar reads with no earlier statement setting the name."""
+    tracked = {
+        name for name, sym in env.symbols.items()
+        if not sym.is_array and sym.init is None
+        and name not in env.params}
+    assigned: set[str] = set()
+    warned: set[str] = set()
+
+    def read(expr: A.Expr, line: int) -> None:
+        for name, loc in _expr_reads(expr):
+            if name in tracked and name not in assigned \
+                    and name not in warned:
+                warned.add(name)
+                result.diagnostics.append(warning(
+                    "W201", f"'{name}' may be used before it is set",
+                    loc or SourceLoc(line), path))
+
+    for stmt in A.walk_stmts(unit.body):
+        line = getattr(stmt, "line", 0)
+        if isinstance(stmt, A.Assignment):
+            if isinstance(stmt.target, A.ArrayRef):
+                for sub in stmt.target.subscripts:
+                    read(sub, line)
+            read(stmt.expr, line)
+            if isinstance(stmt.target, A.VarRef):
+                assigned.add(stmt.target.name.lower())
+        elif isinstance(stmt, A.ForallStmt):
+            for t in stmt.triplets:
+                read(t.lo, line)
+                read(t.hi, line)
+                assigned.add(t.var.lower())
+            if stmt.mask is not None:
+                read(stmt.mask, line)
+            # The body assignment is revisited by walk_stmts.
+        elif isinstance(stmt, A.WhereConstruct):
+            read(stmt.mask, line)
+        elif isinstance(stmt, A.DoLoop):
+            read(stmt.lo, line)
+            read(stmt.hi, line)
+            if stmt.step is not None:
+                read(stmt.step, line)
+            assigned.add(stmt.var.lower())
+        elif isinstance(stmt, A.DoWhile):
+            read(stmt.cond, line)
+        elif isinstance(stmt, A.IfConstruct):
+            for cond, _ in stmt.arms:
+                read(cond, line)
+        elif isinstance(stmt, (A.CallStmt, A.PrintStmt)):
+            for e in getattr(stmt, "args", getattr(stmt, "items", ())):
+                read(e, line)
+
+
+def _warn_aliasing(lowered: list[nir.Imperative], env: Environment,
+                   result: LintResult, path: str | None) -> None:
+    """W202: a MOVE reads its target through an overlapping ≠ region."""
+    domains = env.domains
+    for node in lowered:
+        for imp in nir.imperatives.walk(node):
+            if not isinstance(imp, nir.Move):
+                continue
+            for clause in imp.clauses:
+                if not isinstance(clause.tgt, nir.AVar):
+                    continue
+                name = clause.tgt.name
+                try:
+                    sym = env.lookup(name)
+                except LoweringError:
+                    continue
+                tgt_region = region_of_field(
+                    clause.tgt.field, sym.extents, domains)
+                for v in nir.values.walk(clause.src):
+                    if not (isinstance(v, nir.AVar) and v.name == name):
+                        continue
+                    src_region = region_of_field(
+                        v.field, sym.extents, domains)
+                    if regions_overlap(tgt_region, src_region) \
+                            and not regions_equal(tgt_region, src_region):
+                        result.diagnostics.append(warning(
+                            "W202",
+                            f"assignment to '{name}' reads an "
+                            "overlapping but different section of the "
+                            "same array; the right-hand side needs its "
+                            "pre-assignment value",
+                            v.loc or clause.loc, path))
+                        break
+
+
+def _warn_unused(unit: A.ProgramUnit, env: Environment,
+                 result: LintResult, path: str | None) -> None:
+    """W203: declared entities no statement or declaration references."""
+    used: set[str] = set()
+    for stmt in A.walk_stmts(unit.body):
+        for expr in _stmt_exprs(stmt):
+            for name, _ in _expr_reads(expr):
+                used.add(name)
+        if isinstance(stmt, A.Assignment) \
+                and isinstance(stmt.target, A.VarRef):
+            used.add(stmt.target.name.lower())
+        elif isinstance(stmt, A.DoLoop):
+            used.add(stmt.var.lower())
+        elif isinstance(stmt, A.ForallStmt):
+            used.update(t.var.lower() for t in stmt.triplets)
+    decl_lines: dict[str, int] = {}
+    for decl in unit.decls:
+        for entity in decl.entities:
+            decl_lines[entity.name.lower()] = decl.line
+            for d in (entity.dims or decl.dims or ()):
+                if isinstance(d, A.Expr):
+                    used.update(n for n, _ in _expr_reads(d))
+            if entity.init is not None:
+                used.update(n for n, _ in _expr_reads(entity.init))
+    for name in env.symbols:
+        if name not in used and name in decl_lines:
+            result.diagnostics.append(warning(
+                "W203", f"'{name}' is declared but never used",
+                SourceLoc(decl_lines[name]), path))
+
+
+def _stmt_exprs(stmt: A.Stmt):
+    if isinstance(stmt, A.Assignment):
+        yield stmt.target
+        yield stmt.expr
+    elif isinstance(stmt, A.ForallStmt):
+        for t in stmt.triplets:
+            yield t.lo
+            yield t.hi
+        if stmt.mask is not None:
+            yield stmt.mask
+    elif isinstance(stmt, A.WhereConstruct):
+        yield stmt.mask
+    elif isinstance(stmt, A.DoLoop):
+        yield stmt.lo
+        yield stmt.hi
+        if stmt.step is not None:
+            yield stmt.step
+    elif isinstance(stmt, A.DoWhile):
+        yield stmt.cond
+    elif isinstance(stmt, A.IfConstruct):
+        for cond, _ in stmt.arms:
+            yield cond
+    elif isinstance(stmt, (A.CallStmt, A.PrintStmt)):
+        yield from getattr(stmt, "args", getattr(stmt, "items", ()))

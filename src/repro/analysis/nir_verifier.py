@@ -1,0 +1,281 @@
+"""Level-1 verifier: NIR well-formedness (the ``V3xx`` namespace).
+
+A collecting analogue of :mod:`repro.lowering.check` extended with the
+invariants the transform pipeline must preserve:
+
+* ``V301`` — every storage reference names a declared entity,
+* ``V302`` — type conformance of values, masks, and assignments,
+* ``V303`` — shape conformance of values, masks, and assignments,
+* ``V304`` — MOVE structure (targets reference storage),
+* ``V305`` — region/phase nesting: DO and WITH_DOMAIN shapes resolve in
+  the domain scope they appear under; PROGRAM appears only at the root,
+* ``V306`` — unknown imperative forms,
+* ``V307`` — mask coverage: the region selected by a padded subsection
+  move's mask lies inside the target's declared bounds.
+
+Unlike the checkers, which stop at the first violation, the verifier
+walks the whole program and reports every violation, each tagged with
+the closest source location the IR still carries.
+"""
+
+from __future__ import annotations
+
+from .. import nir
+from ..lowering.analysis import Inference
+from ..lowering.environment import Environment, LoweringError
+from ..sourceloc import SourceLoc
+from .diagnostics import Diagnostic, DiagnosticSink, VerifyError
+
+
+def verify_program(node: nir.Imperative, env: Environment,
+                   domains: dict[str, nir.Shape] | None = None
+                   ) -> list[Diagnostic]:
+    """All V3xx violations in an NIR program (or bare imperative)."""
+    verifier = NirVerifier(env, domains)
+    verifier.verify(node)
+    return verifier.sink.diagnostics
+
+
+def assert_valid(node: nir.Imperative, env: Environment, stage: str,
+                 domains: dict[str, nir.Shape] | None = None) -> None:
+    """Raise :class:`VerifyError` naming ``stage`` on any violation."""
+    diagnostics = verify_program(node, env, domains)
+    if diagnostics:
+        raise VerifyError(stage, diagnostics)
+
+
+def region_of_mask(mask: nir.Value, extents: tuple[int, ...]
+                   ) -> list[tuple[int, int | None, int]] | None:
+    """Reverse-parse a padder-generated region mask.
+
+    Recognizes the exact condition grammar :meth:`MaskPadder.region_mask`
+    emits — AND-chains of ``coord >= lo``, ``coord <= hi`` and
+    ``mod(coord - lo, st) == 0`` over ``local_under`` coordinates — and
+    returns one ``(lo, hi_or_None, stride)`` triple per axis.  Returns
+    None for anything else (user-written masks are not region masks).
+    """
+    conds: list[nir.Value] = []
+    work = [mask]
+    while work:
+        m = work.pop()
+        if isinstance(m, nir.Binary) and m.op is nir.BinOp.AND:
+            work.extend((m.left, m.right))
+        else:
+            conds.append(m)
+    axes: dict[int, list[int | None]] = {
+        axis: [1, None, 1] for axis in range(1, len(extents) + 1)}
+
+    def int_of(v: nir.Value) -> int | None:
+        if isinstance(v, nir.Scalar) and v.type.is_integer:
+            return int(v.rep)
+        return None
+
+    for cond in conds:
+        if not isinstance(cond, nir.Binary):
+            return None
+        if cond.op in (nir.BinOp.GE, nir.BinOp.LE) \
+                and isinstance(cond.left, nir.LocalUnder):
+            bound = int_of(cond.right)
+            if bound is None or cond.left.dim not in axes:
+                return None
+            axes[cond.left.dim][0 if cond.op is nir.BinOp.GE else 1] = bound
+            continue
+        if cond.op is nir.BinOp.EQ and isinstance(cond.left, nir.Binary) \
+                and cond.left.op is nir.BinOp.MOD:
+            offset, modulus = cond.left.left, cond.left.right
+            st = int_of(modulus)
+            if st is None or int_of(cond.right) != 0:
+                return None
+            if not (isinstance(offset, nir.Binary)
+                    and offset.op is nir.BinOp.SUB
+                    and isinstance(offset.left, nir.LocalUnder)
+                    and int_of(offset.right) is not None):
+                return None
+            if offset.left.dim not in axes:
+                return None
+            axes[offset.left.dim][2] = st
+            continue
+        return None
+    return [tuple(axes[a]) for a in sorted(axes)]  # type: ignore[misc]
+
+
+class NirVerifier:
+    """Collects every V3xx violation in an imperative tree."""
+
+    def __init__(self, env: Environment,
+                 domains: dict[str, nir.Shape] | None = None) -> None:
+        self.env = env
+        self.domains: dict[str, nir.Shape] = dict(
+            domains if domains is not None else env.domains)
+        self.infer = Inference(env, self.domains)
+        self.sink = DiagnosticSink()
+        self.declared: set[str] = set(env.symbols)
+
+    # ------------------------------------------------------------------
+
+    def verify(self, node: nir.Imperative) -> None:
+        self._imp(node, at_root=True)
+
+    def _imp(self, node: nir.Imperative, at_root: bool = False) -> None:
+        if isinstance(node, nir.Program):
+            if not at_root:
+                self.sink.error("V305", "PROGRAM nested inside the body")
+            self._imp(node.body, at_root=False)
+        elif isinstance(node, nir.WithDomain):
+            prior = self.domains.get(node.name)
+            self.domains[node.name] = node.shape
+            try:
+                self._imp(node.body)
+            finally:
+                if prior is None:
+                    self.domains.pop(node.name, None)
+                else:
+                    self.domains[node.name] = prior
+        elif isinstance(node, nir.WithDecl):
+            names = {d.name for d in node.decl.decls} \
+                if hasattr(node.decl, "decls") else set()
+            added = names - self.declared
+            self.declared |= added
+            try:
+                self._imp(node.body)
+            finally:
+                self.declared -= added
+        elif isinstance(node, (nir.Sequentially, nir.Concurrently)):
+            for a in node.actions:
+                self._imp(a)
+        elif isinstance(node, nir.Move):
+            for clause in node.clauses:
+                self._clause(clause)
+        elif isinstance(node, nir.IfThenElse):
+            self._condition(node.cond, "IFTHENELSE condition")
+            self._imp(node.then)
+            self._imp(node.els)
+        elif isinstance(node, nir.While):
+            self._condition(node.cond, "WHILE condition")
+            self._imp(node.body)
+        elif isinstance(node, nir.Do):
+            try:
+                nir.resolve(node.shape, self.domains)
+            except Exception as exc:
+                self.sink.error("V305", f"DO shape does not resolve: {exc}")
+            for name in node.index_names:
+                if name not in self.declared:
+                    self.sink.error(
+                        "V301", f"DO index '{name}' is not declared")
+            self._imp(node.body)
+        elif isinstance(node, nir.CallStmt):
+            for a in node.args:
+                self._value(a)
+        elif isinstance(node, (nir.Skip, nir.RefOut, nir.CopyOut)):
+            pass
+        else:
+            self.sink.error(
+                "V306", f"unknown imperative {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+
+    def _names_declared(self, value: nir.Value,
+                        loc: SourceLoc | None) -> bool:
+        ok = True
+        for n in nir.values.walk(value):
+            if isinstance(n, (nir.SVar, nir.AVar, nir.RefIn, nir.CopyIn)) \
+                    and n.name not in self.declared:
+                self.sink.error(
+                    "V301", f"reference to undeclared '{n.name}'",
+                    n.loc or loc)
+                ok = False
+        return ok
+
+    def _value(self, value: nir.Value, loc: SourceLoc | None = None):
+        """Infer a value, reporting rather than raising; None on failure."""
+        loc = value.loc or loc
+        if not self._names_declared(value, loc):
+            return None
+        try:
+            return self.infer.infer(value)
+        except nir.TypeError_ as exc:
+            self.sink.error("V302", str(exc), loc)
+        except nir.ShapeError as exc:
+            self.sink.error("V303", str(exc), loc)
+        except LoweringError as exc:
+            self.sink.error("V301", str(exc), loc)
+        return None
+
+    def _condition(self, cond: nir.Value, what: str) -> None:
+        info = self._value(cond)
+        if info is None:
+            return
+        if not info.elem.is_logical:
+            self.sink.error("V302", f"{what} is not logical", cond.loc)
+        if info.shape is not None:
+            self.sink.error("V303", f"{what} must be scalar", cond.loc)
+
+    def _clause(self, clause: nir.MoveClause) -> None:
+        loc = clause.loc
+        if not isinstance(clause.tgt, (nir.SVar, nir.AVar)):
+            self.sink.error(
+                "V304",
+                f"MOVE target must reference storage, got {clause.tgt}",
+                loc)
+            return
+        tinfo = self._value(clause.tgt, loc)
+        sinfo = self._value(clause.src, loc)
+        minfo = self._value(clause.mask, loc)
+        if tinfo is None or sinfo is None or minfo is None:
+            return
+
+        if not minfo.elem.is_logical:
+            self.sink.error(
+                "V302", f"MOVE mask is not logical: {clause.mask}", loc)
+        if sinfo.elem.is_logical != tinfo.elem.is_logical:
+            self.sink.error(
+                "V302", "MOVE mixes logical and arithmetic types: "
+                f"{sinfo.elem} -> {tinfo.elem}", loc)
+
+        if tinfo.shape is None:
+            if sinfo.shape is not None:
+                self.sink.error(
+                    "V303",
+                    f"array value stored to scalar target {clause.tgt}",
+                    loc)
+            if minfo.shape is not None:
+                self.sink.error(
+                    "V303", f"array mask on scalar move to {clause.tgt}",
+                    loc)
+            return
+        if sinfo.shape is not None and not nir.conformable(
+                tinfo.shape, sinfo.shape, self.domains):
+            self.sink.error(
+                "V303", "MOVE shapes do not conform: "
+                f"{nir.extents(tinfo.shape, self.domains)} <- "
+                f"{nir.extents(sinfo.shape, self.domains)}", loc)
+        if minfo.shape is not None and not nir.conformable(
+                tinfo.shape, minfo.shape, self.domains):
+            self.sink.error(
+                "V303", "MOVE mask shape does not conform to target: "
+                f"{nir.extents(tinfo.shape, self.domains)} vs "
+                f"{nir.extents(minfo.shape, self.domains)}", loc)
+        self._mask_coverage(clause, loc)
+
+    def _mask_coverage(self, clause: nir.MoveClause,
+                       loc: SourceLoc | None) -> None:
+        """V307: a padded move's region mask stays inside the target."""
+        if clause.mask == nir.TRUE or not isinstance(clause.tgt, nir.AVar) \
+                or not isinstance(clause.tgt.field, nir.Everywhere):
+            return
+        try:
+            sym = self.env.lookup(clause.tgt.name)
+        except LoweringError:
+            return  # already reported as V301
+        axes = region_of_mask(clause.mask, sym.extents)
+        if axes is None:
+            return  # not a padder-generated mask
+        for axis, ((lo, hi, st), n) in enumerate(zip(axes, sym.extents),
+                                                 start=1):
+            hi = n if hi is None else hi
+            if lo < 1 or hi > n or lo > hi or st < 1:
+                self.sink.error(
+                    "V307",
+                    f"mask of padded move to '{clause.tgt.name}' selects "
+                    f"{lo}:{hi}:{st} on axis {axis}, outside declared "
+                    f"bounds 1:{n}", loc)

@@ -1,0 +1,188 @@
+"""Level-3 verifier: PEAC/VIR backend output (the ``P5xx`` namespace).
+
+Checks the node routines the CM2 backend emits, per virtual-subgrid
+loop body:
+
+* ``P501`` — no vector register is read before something defines it,
+* ``P502`` — spill/restore slots stay inside ``Routine.spill_slots``,
+* ``P503`` — every restore reads a slot a prior spill wrote,
+* ``P504`` — every streaming memory operand's pointer register is bound
+  by a subgrid/coord/halo parameter (and does not collide with the
+  spill-scratch pointers allocated from ``aP15`` down),
+* ``P505`` — every scalar register read is bound by a scalar parameter,
+* ``P506`` — a chained in-memory operand appears only on opcodes the
+  chaining pass may legally fold into,
+* ``P507`` — dual-issue pairs are hazard-free: both halves read
+  pre-instruction register state, so the paired load may not write the
+  computation's destination and the paired store may not read it.
+
+Body order is per-trip SSA (the register allocator's contract), so a
+linear read-before-def scan is exact — nothing is live across the
+virtual subgrid loop's back edge except the streams themselves.
+"""
+
+from __future__ import annotations
+
+from ..peac import isa
+from .diagnostics import Diagnostic, DiagnosticSink, VerifyError
+
+try:
+    from ..backend.cm2.chaining import _CHAINABLE_KINDS_OPS as CHAINABLE_OPS
+except ImportError:  # keep the verifier usable without the cm2 backend
+    CHAINABLE_OPS = {
+        "faddv", "fsubv", "fmulv", "fdivv", "fminv", "fmaxv", "fmodv",
+        "fpowv", "fmav", "fmsv", "fceqv", "fcnev", "fcltv", "fclev",
+        "fcgtv", "fcgev", "candv", "corv", "cxorv", "fselv",
+        "iaddv", "isubv", "imulv", "idivv", "imodv",
+    }
+
+
+def verify_routine(routine: isa.Routine) -> list[Diagnostic]:
+    """All P5xx violations in one PEAC routine."""
+    verifier = _RoutineVerifier(routine)
+    verifier.run()
+    return verifier.sink.diagnostics
+
+
+def verify_routines(routines: dict[str, isa.Routine],
+                    stage: str = "backend/peac") -> None:
+    """Raise :class:`VerifyError` if any routine fails verification."""
+    diagnostics: list[Diagnostic] = []
+    for routine in routines.values():
+        diagnostics.extend(verify_routine(routine))
+    if diagnostics:
+        raise VerifyError(stage, diagnostics)
+
+
+def _is_spill_mem(mem: isa.Mem) -> bool:
+    """Spill scratch is addressed without post-increment (incr == 0)."""
+    return mem.incr == 0
+
+
+def _spill_slot(mem: isa.Mem) -> int:
+    """Slot index of a spill-scratch operand (aP15 binds slot 0)."""
+    return isa.NUM_PREGS - 1 - mem.preg.n
+
+
+def _written_mem(instr: isa.Instr) -> isa.Mem | None:
+    """The memory operand a store writes (``Instr.dest`` is None for
+    stores, so the written location needs its own accessor)."""
+    if instr.kind == "store" and isinstance(instr.operands[-1], isa.Mem):
+        return instr.operands[-1]
+    return None
+
+
+class _RoutineVerifier:
+    def __init__(self, routine: isa.Routine) -> None:
+        self.routine = routine
+        self.sink = DiagnosticSink()
+        self.stream_pregs = {
+            p.reg.n for p in routine.params
+            if p.kind in ("subgrid", "coord", "halo")
+            and isinstance(p.reg, isa.PReg)}
+        self.scalar_sregs = {
+            p.reg.n for p in routine.params
+            if p.kind == "scalar" and isinstance(p.reg, isa.SReg)}
+        self.defined_vregs: set[int] = set()
+        self.spilled_slots: set[int] = set()
+
+    def run(self) -> None:
+        for pos, instr in enumerate(self.routine.body):
+            if instr.paired is not None:
+                self._check_pair(pos, instr)
+            self._check_instr(pos, instr)
+            # The paired memory half reads pre-instruction state but its
+            # write lands with the computation's, so define both after.
+            self._define(instr)
+            if instr.paired is not None:
+                self._check_instr(pos, instr.paired, in_pair=True)
+                self._define(instr.paired)
+
+    # ------------------------------------------------------------------
+
+    def _where(self, pos: int, instr: isa.Instr) -> str:
+        return f"{self.routine.name}[{pos}] '{instr}'"
+
+    def _check_instr(self, pos: int, instr: isa.Instr,
+                     in_pair: bool = False) -> None:
+        where = self._where(pos, instr)
+        for src in instr.sources:
+            if isinstance(src, isa.VReg) \
+                    and src.n not in self.defined_vregs:
+                self.sink.error(
+                    "P501", f"{where}: reads aV{src.n} before any "
+                    "definition in the loop body")
+            elif isinstance(src, isa.SReg) \
+                    and src.n not in self.scalar_sregs:
+                self.sink.error(
+                    "P505", f"{where}: reads aS{src.n}, which no scalar "
+                    "parameter binds")
+            elif isinstance(src, isa.Mem):
+                self._check_mem(where, src, reading=True)
+        dest = instr.dest
+        if isinstance(dest, isa.Mem):
+            self._check_mem(where, dest, reading=False)
+        written = _written_mem(instr)
+        if written is not None:
+            self._check_mem(where, written, reading=False)
+        if instr.has_chained_mem and instr.op not in CHAINABLE_OPS:
+            self.sink.error(
+                "P506", f"{where}: opcode {instr.op} may not take a "
+                "chained in-memory operand")
+
+    def _check_mem(self, where: str, mem: isa.Mem, reading: bool) -> None:
+        if _is_spill_mem(mem):
+            slot = _spill_slot(mem)
+            if not 0 <= slot < self.routine.spill_slots:
+                self.sink.error(
+                    "P502", f"{where}: spill slot {slot} outside the "
+                    f"routine's {self.routine.spill_slots} scratch slots")
+            elif reading and slot not in self.spilled_slots:
+                self.sink.error(
+                    "P503", f"{where}: restores slot {slot} before any "
+                    "spill writes it")
+        else:
+            if mem.preg.n not in self.stream_pregs:
+                self.sink.error(
+                    "P504", f"{where}: streams through aP{mem.preg.n}, "
+                    "which no subgrid/coord/halo parameter binds")
+            elif mem.preg.n >= isa.NUM_PREGS - self.routine.spill_slots:
+                self.sink.error(
+                    "P504", f"{where}: stream pointer aP{mem.preg.n} "
+                    "collides with the spill-scratch pointers")
+
+    def _define(self, instr: isa.Instr) -> None:
+        dest = instr.dest
+        if isinstance(dest, isa.VReg):
+            self.defined_vregs.add(dest.n)
+        written = _written_mem(instr)
+        if written is not None and _is_spill_mem(written) \
+                and 0 <= _spill_slot(written) < self.routine.spill_slots:
+            self.spilled_slots.add(_spill_slot(written))
+
+    def _check_pair(self, pos: int, instr: isa.Instr) -> None:
+        mem = instr.paired
+        where = self._where(pos, instr)
+        if mem.kind not in ("load", "store"):
+            self.sink.error(
+                "P507", f"{where}: only loads/stores may be dual-issued")
+            return
+        if instr.kind in ("load", "store", "branch"):
+            self.sink.error(
+                "P507", f"{where}: memory/branch ops cannot carry a "
+                "dual-issued memory half")
+            return
+        comp_dest = instr.dest
+        if not isinstance(comp_dest, isa.VReg):
+            return
+        if mem.kind == "load":
+            if mem.dest == comp_dest:
+                self.sink.error(
+                    "P507", f"{where}: paired load writes the "
+                    f"computation's destination {comp_dest}")
+        else:  # store / spill
+            if comp_dest in mem.sources:
+                self.sink.error(
+                    "P507", f"{where}: paired store reads the "
+                    f"computation's destination {comp_dest} before it "
+                    "is written")

@@ -8,6 +8,8 @@ Commands:
   the performance summary;
 * ``compare`` — the paper's §6 experiment on any program: Fortran-90-Y
   vs the CM Fortran and \\*Lisp models;
+* ``lint`` — frontend + semantic analysis only, with source-located
+  diagnostics (exit 0 clean, 1 warnings, 2 errors; ``--format=json``);
 * ``serve`` — the JSON-lines compile-and-run service (persistent
   compile cache + worker pool; see :mod:`repro.service`);
 * ``batch`` — run a JSON-lines job file through the worker pool.
@@ -36,16 +38,18 @@ from .metrics import summarize
 
 
 def _options(args) -> CompilerOptions:
+    import dataclasses
+
     if getattr(args, "naive", False):
-        return CompilerOptions.naive()
-    if getattr(args, "neighborhood", False):
+        base = CompilerOptions.naive()
+    elif getattr(args, "neighborhood", False):
         base = CompilerOptions.neighborhood()
     else:
         base = CompilerOptions()
     if getattr(args, "target", "cm2") != "cm2":
-        import dataclasses
-
         base = dataclasses.replace(base, target=args.target)
+    if getattr(args, "verify", False):
+        base = dataclasses.replace(base, verify=True)
     return base
 
 
@@ -87,6 +91,9 @@ def _add_pipeline_args(p: argparse.ArgumentParser) -> None:
     g.add_argument("--cache", action="store_true",
                    help="consult the persistent compile cache "
                         "(~/.cache/repro; also $REPRO_CACHE=1)")
+    g.add_argument("--verify", action="store_true",
+                   help="run the verifier suite between passes "
+                        "(also $REPRO_VERIFY=1)")
 
 
 def _add_exec_args(p: argparse.ArgumentParser) -> None:
@@ -206,6 +213,28 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Frontend + semantic analysis only; exit 0 clean / 1 warn / 2 err."""
+    from ..analysis.lint import format_text, lint_file, lint_source
+
+    results = []
+    for path in args.files:
+        if path == "-":
+            results.append(lint_source(sys.stdin.read(), "<stdin>"))
+        else:
+            results.append(lint_file(path))
+    if args.format == "json":
+        payload = [dict(r.to_dict(),
+                        exit_code=r.exit_code(strict=args.strict))
+                   for r in results]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2, sort_keys=True))
+    else:
+        for r in results:
+            print(format_text(r))
+    return max(r.exit_code(strict=args.strict) for r in results)
+
+
 def cmd_serve(args) -> int:
     from ..service.pool import WorkerPool
     from ..service.server import serve
@@ -277,6 +306,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pipeline_args(p)
     _add_exec_args(p)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("lint",
+                       help="check sources without compiling; exit 0 "
+                            "clean, 1 warnings, 2 errors")
+    p.add_argument("files", nargs="+", metavar="file",
+                   help="Fortran source file(s), or - for stdin")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="diagnostic output format (default: text)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as errors (exit 2)")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("serve",
                        help="JSON-lines compile-and-run service")

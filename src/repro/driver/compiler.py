@@ -34,6 +34,10 @@ class CompilerOptions:
     transform: TransformOptions = field(default_factory=TransformOptions)
     backend: BackendOptions = field(default_factory=BackendOptions)
     target: str = "cm2"
+    # Run the verifier suite: NIR well-formedness between transform
+    # passes, dependence audits around blocking, and PEAC routine checks
+    # on the backend output.  REPRO_VERIFY=1 enables it globally.
+    verify: bool = False
 
     @classmethod
     def optimized(cls) -> "CompilerOptions":
@@ -113,9 +117,11 @@ def compile_unit(unit: A.ProgramUnit,
                  ) -> Executable:
     """Compile a parsed program unit through the full pipeline."""
     options = options or CompilerOptions()
+    from ..analysis import verify_enabled
+    verify = options.verify or verify_enabled()
     lowered = lower_program(unit)
     check_program(lowered.nir, lowered.env)
-    transformed = optimize(lowered, options.transform)
+    transformed = optimize(lowered, options.transform, verify=verify)
     if options.target == "cm2":
         cm2 = Cm2Compiler(transformed.env, options=options.backend,
                           layouts=layouts)
@@ -130,6 +136,9 @@ def compile_unit(unit: A.ProgramUnit,
         report = cm5.report
     else:
         raise ValueError(f"unknown target {options.target!r}")
+    if verify and options.target == "cm2":
+        from ..analysis.peac_verifier import verify_routines
+        verify_routines(host_program.routines, stage="backend/peac")
     return Executable(host_program=host_program, env=transformed.env,
                       unit=unit, lowered=lowered, transformed=transformed,
                       partition=report, options=options)

@@ -7,7 +7,9 @@ and emits NIR.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from ..sourceloc import SourceLoc
 
 
 @dataclass(frozen=True)
@@ -22,7 +24,15 @@ class AstNode:
 
 @dataclass(frozen=True)
 class Expr(AstNode):
-    """Base class for expressions."""
+    """Base class for expressions.
+
+    ``loc`` carries the lexer token position the expression began at.
+    It is excluded from equality/hashing so location-stamped nodes stay
+    structurally identical to unstamped ones.
+    """
+
+    loc: SourceLoc | None = field(default=None, compare=False, repr=False,
+                                  kw_only=True)
 
 
 @dataclass(frozen=True)

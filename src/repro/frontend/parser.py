@@ -8,6 +8,7 @@ and the labelled Fortran 77 forms used in the paper's examples
 
 from __future__ import annotations
 
+from ..sourceloc import SourceLoc
 from . import ast_nodes as A
 from .lexer import tokenize
 from .tokens import TokKind, Token
@@ -465,12 +466,14 @@ class Parser:
         return A.Assignment(target=target, expr=expr, line=line)
 
     def _parse_designator(self) -> A.Expr:
+        t = self.peek()
         name = self.expect_ident().text.lower()
+        loc = SourceLoc(t.line, t.col)
         if self.accept_op("("):
             subs = self._parse_arg_list()
             self.expect_op(")")
-            return A.ArrayRef(name=name, subscripts=subs)
-        return A.VarRef(name=name)
+            return A.ArrayRef(name=name, subscripts=subs, loc=loc)
+        return A.VarRef(name=name, loc=loc)
 
     # DO loops ---------------------------------------------------------------
 
@@ -676,20 +679,22 @@ class Parser:
         left = self._parse_and()
         while self.at_op(".or.") or self.at_op(".eqv.") or self.at_op(".neqv."):
             op = self.next().text
-            left = A.BinExpr(op, left, self._parse_and())
+            left = A.BinExpr(op, left, self._parse_and(), loc=left.loc)
         return left
 
     def _parse_and(self) -> A.Expr:
         left = self._parse_not()
         while self.at_op(".and."):
             self.next()
-            left = A.BinExpr(".and.", left, self._parse_not())
+            left = A.BinExpr(".and.", left, self._parse_not(), loc=left.loc)
         return left
 
     def _parse_not(self) -> A.Expr:
         if self.at_op(".not."):
+            t = self.peek()
             self.next()
-            return A.UnExpr(".not.", self._parse_not())
+            return A.UnExpr(".not.", self._parse_not(),
+                            loc=SourceLoc(t.line, t.col))
         return self._parse_relational()
 
     def _parse_relational(self) -> A.Expr:
@@ -697,26 +702,29 @@ class Parser:
         for op in ("==", "/=", "<=", ">=", "<", ">"):
             if self.at_op(op):
                 self.next()
-                return A.BinExpr(op, left, self._parse_addsub())
+                return A.BinExpr(op, left, self._parse_addsub(),
+                                 loc=left.loc)
         return left
 
     def _parse_addsub(self) -> A.Expr:
         if self.at_op("-") or self.at_op("+"):
+            t = self.peek()
             op = self.next().text
             operand = self._parse_term()
-            left: A.Expr = operand if op == "+" else A.UnExpr("-", operand)
+            left: A.Expr = operand if op == "+" \
+                else A.UnExpr("-", operand, loc=SourceLoc(t.line, t.col))
         else:
             left = self._parse_term()
         while self.at_op("+") or self.at_op("-"):
             op = self.next().text
-            left = A.BinExpr(op, left, self._parse_term())
+            left = A.BinExpr(op, left, self._parse_term(), loc=left.loc)
         return left
 
     def _parse_term(self) -> A.Expr:
         left = self._parse_factor()
         while self.at_op("*") or self.at_op("/"):
             op = self.next().text
-            left = A.BinExpr(op, left, self._parse_factor())
+            left = A.BinExpr(op, left, self._parse_factor(), loc=left.loc)
         return left
 
     def _parse_factor(self) -> A.Expr:
@@ -726,28 +734,33 @@ class Parser:
             # '**' is right-associative; unary minus binds looser.
             if self.at_op("-"):
                 self.next()
-                return A.BinExpr("**", base, A.UnExpr("-", self._parse_factor()))
-            return A.BinExpr("**", base, self._parse_factor())
+                return A.BinExpr(
+                    "**", base,
+                    A.UnExpr("-", self._parse_factor(), loc=base.loc),
+                    loc=base.loc)
+            return A.BinExpr("**", base, self._parse_factor(), loc=base.loc)
         return base
 
     def _parse_primary(self) -> A.Expr:
         t = self.peek()
+        loc = SourceLoc(t.line, t.col)
         if t.kind is TokKind.INT:
             self.next()
-            return A.IntLit(int(t.text))
+            return A.IntLit(int(t.text), loc=loc)
         if t.kind is TokKind.REAL:
             self.next()
-            return A.RealLit(float(t.text.lower().replace("d", "e")))
+            return A.RealLit(float(t.text.lower().replace("d", "e")),
+                             loc=loc)
         if t.kind is TokKind.DREAL:
             self.next()
             return A.RealLit(float(t.text.lower().replace("d", "e")),
-                             double=True)
+                             double=True, loc=loc)
         if t.kind is TokKind.LOGICAL:
             self.next()
-            return A.LogicalLit(t.text.lower() == "true")
+            return A.LogicalLit(t.text.lower() == "true", loc=loc)
         if t.kind is TokKind.STRING:
             self.next()
-            return A.StringLit(t.text)
+            return A.StringLit(t.text, loc=loc)
         if t.kind is TokKind.IDENT:
             return self._parse_designator()
         if self.accept_op("("):
@@ -757,7 +770,7 @@ class Parser:
         if self.at_op("-") or self.at_op("+"):
             op = self.next().text
             operand = self._parse_factor()
-            return operand if op == "+" else A.UnExpr("-", operand)
+            return operand if op == "+" else A.UnExpr("-", operand, loc=loc)
         raise ParseError("expected an expression", t)
 
     def _parse_arg_list(self) -> tuple[A.Expr, ...]:
@@ -769,13 +782,15 @@ class Parser:
         return tuple(args)
 
     def _parse_arg_item(self) -> A.Expr:
+        t = self.peek()
+        loc = SourceLoc(t.line, t.col)
         # Keyword argument: IDENT '=' expr (DIM=1).
         if (self.peek().kind is TokKind.IDENT
                 and self.peek(1).kind is TokKind.OP
                 and self.peek(1).text == "="):
             name = self.next().text.lower()
             self.next()
-            return A.KeywordArg(name, self.parse_expr())
+            return A.KeywordArg(name, self.parse_expr(), loc=loc)
         # Section triplet: [expr] ':' [expr] [':' expr]
         lo: A.Expr | None = None
         if not self.at_op(":"):
@@ -789,7 +804,7 @@ class Parser:
         stride: A.Expr | None = None
         if self.accept_op(":"):
             stride = self.parse_expr()
-        return A.SectionRange(lo=lo, hi=hi, stride=stride)
+        return A.SectionRange(lo=lo, hi=hi, stride=stride, loc=loc)
 
 
 class _Labelled(A.Stmt):

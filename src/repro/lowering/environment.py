@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from .. import nir
 from ..frontend import ast_nodes as A
+from ..sourceloc import SourceLoc, attach_loc
 from . import fold
 
 
@@ -134,36 +135,55 @@ def build_environment(unit: A.ProgramUnit) -> Environment:
     """Process a unit's declaration section into an :class:`Environment`."""
     env = Environment()
     for decl in unit.decls:
-        base = _BASE_TYPES.get(decl.base)
-        if base is None:
-            raise LoweringError(f"unsupported type '{decl.base}'")
-        shared_dims = decl.dims
-        for entity in decl.entities:
-            dims = entity.dims or shared_dims
-            if decl.parameter:
-                if dims:
-                    raise LoweringError(
-                        f"array PARAMETER '{entity.name}' unsupported")
-                if entity.init is None:
-                    raise LoweringError(
-                        f"PARAMETER '{entity.name}' lacks a value")
-                value = fold.fold(entity.init, env.params)
-                env.params[entity.name] = _coerce(base, value)
-                env.declare(Symbol(entity.name, base,
-                                   init=env.params[entity.name]))
-                continue
-            if dims:
-                extents = _fold_extents(entity.name, dims, env.params)
-                dom = env.domain_for(extents)
-                ty = nir.DField(nir.DomainRef(dom), base)
-                env.declare(Symbol(entity.name, ty, extents=extents,
-                                   domain=dom))
-            else:
-                init = None
-                if entity.init is not None:
-                    init = _coerce(base, fold.fold(entity.init, env.params))
-                env.declare(Symbol(entity.name, base, init=init))
+        declare_type_decl(env, decl)
     return env
+
+
+def declare_type_decl(env: Environment, decl: A.TypeDecl) -> None:
+    """Process one declaration statement into ``env``.
+
+    Split out from :func:`build_environment` so the lint engine can
+    process declarations one at a time, collecting per-declaration
+    diagnostics instead of stopping at the first bad one.  Errors carry
+    the declaration's source line.
+    """
+    try:
+        _declare_type_decl(env, decl)
+    except LoweringError as exc:
+        attach_loc(exc, SourceLoc(decl.line) if decl.line else None)
+        raise
+
+
+def _declare_type_decl(env: Environment, decl: A.TypeDecl) -> None:
+    base = _BASE_TYPES.get(decl.base)
+    if base is None:
+        raise LoweringError(f"unsupported type '{decl.base}'")
+    shared_dims = decl.dims
+    for entity in decl.entities:
+        dims = entity.dims or shared_dims
+        if decl.parameter:
+            if dims:
+                raise LoweringError(
+                    f"array PARAMETER '{entity.name}' unsupported")
+            if entity.init is None:
+                raise LoweringError(
+                    f"PARAMETER '{entity.name}' lacks a value")
+            value = fold.fold(entity.init, env.params)
+            env.params[entity.name] = _coerce(base, value)
+            env.declare(Symbol(entity.name, base,
+                               init=env.params[entity.name]))
+            continue
+        if dims:
+            extents = _fold_extents(entity.name, dims, env.params)
+            dom = env.domain_for(extents)
+            ty = nir.DField(nir.DomainRef(dom), base)
+            env.declare(Symbol(entity.name, ty, extents=extents,
+                               domain=dom))
+        else:
+            init = None
+            if entity.init is not None:
+                init = _coerce(base, fold.fold(entity.init, env.params))
+            env.declare(Symbol(entity.name, base, init=init))
 
 
 def _fold_extents(name: str, dims, params) -> tuple[int, ...]:

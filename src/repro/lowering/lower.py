@@ -17,11 +17,13 @@ The equations are the methods of :class:`Lowerer`:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from .. import nir
 from ..frontend import ast_nodes as A
 from ..frontend import intrinsics as intr
+from ..sourceloc import SourceLoc, attach_loc, loc_of
 from . import fold
 from .analysis import Inference
 from .environment import Environment, LoweringError, build_environment
@@ -71,9 +73,10 @@ _BINOPS = {
 
 
 class Lowerer:
-    def __init__(self, unit: A.ProgramUnit) -> None:
+    def __init__(self, unit: A.ProgramUnit,
+                 env: Environment | None = None) -> None:
         self.unit = unit
-        self.env = build_environment(unit)
+        self.env = env if env is not None else build_environment(unit)
         self.infer = Inference(self.env)
         # Serial-context bindings: loop/FORALL index name -> NIR value.
         self.index_bindings: dict[str, nir.Value] = {}
@@ -97,6 +100,19 @@ class Lowerer:
         return nir.seq(*[self.lower_imperative(s) for s in stmts])
 
     def lower_imperative(self, stmt: A.Stmt) -> nir.Imperative:
+        """Location-aware wrapper around the per-statement equations.
+
+        Any semantic error escaping statement translation is tagged with
+        the statement's source line (innermost location wins, so a more
+        precise expression position set deeper down is preserved).
+        """
+        try:
+            return self._lower_imperative(stmt)
+        except (LoweringError, nir.TypeError_, nir.ShapeError) as exc:
+            attach_loc(exc, loc_of(stmt))
+            raise
+
+    def _lower_imperative(self, stmt: A.Stmt) -> nir.Imperative:
         if isinstance(stmt, A.Assignment):
             return self.lower_assignment(stmt)
         if isinstance(stmt, A.ForallStmt):
@@ -141,7 +157,8 @@ class Lowerer:
                     f"line {stmt.line}: shape mismatch in assignment to "
                     f"'{stmt.target}': {nir.extents(tinfo.shape, self.env.domains)} "
                     f"vs {nir.extents(sinfo.shape, self.env.domains)}")
-        return nir.move1(src, target, mask)
+        loc = loc_of(stmt.target) or loc_of(stmt)
+        return nir.move1(src, target, mask, loc=loc)
 
     def lower_target(self, target: A.Expr) -> nir.Value:
         if isinstance(target, A.VarRef):
@@ -307,7 +324,8 @@ class Lowerer:
                     if stmt.mask is not None else nir.TRUE)
         finally:
             self.index_bindings = saved
-        return nir.move1(src, nir.AVar(target.name, field), mask)
+        return nir.move1(src, nir.AVar(target.name, field), mask,
+                         loc=loc_of(target) or loc_of(stmt))
 
     # ------------------------------------------------------------------
     # Shape-domain equation
@@ -321,6 +339,23 @@ class Lowerer:
     # ------------------------------------------------------------------
 
     def lower_value(self, expr: A.Expr) -> nir.Value:
+        """Location-aware wrapper around the value-domain equation.
+
+        The produced NIR value is stamped with the expression's source
+        position (when it does not already carry a more precise one),
+        and any semantic error is tagged the same way.
+        """
+        loc = getattr(expr, "loc", None)
+        try:
+            out = self._lower_value(expr)
+        except (LoweringError, nir.TypeError_, nir.ShapeError) as exc:
+            attach_loc(exc, loc)
+            raise
+        if loc is not None and out.loc is None:
+            out = dataclasses.replace(out, loc=loc)
+        return out
+
+    def _lower_value(self, expr: A.Expr) -> nir.Value:
         if isinstance(expr, A.IntLit):
             return nir.int_const(expr.value)
         if isinstance(expr, A.RealLit):

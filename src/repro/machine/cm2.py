@@ -156,6 +156,30 @@ class Machine:
 
     # -- node dispatch ----------------------------------------------------
 
+    def _verify_routine(self, routine: Routine) -> None:
+        """Under ``REPRO_VERIFY=1``, check PEAC invariants at dispatch.
+
+        The last line of defense: catches corrupted or hand-built
+        routines that never went through the compile-time verifier.
+        Each routine name is checked once per machine.
+        """
+        from ..analysis import verify_enabled
+
+        if not verify_enabled():
+            return
+        seen = getattr(self, "_verified_routines", None)
+        if seen is None:
+            seen = self._verified_routines = set()
+        if routine.name in seen:
+            return
+        from ..analysis.diagnostics import VerifyError
+        from ..analysis.peac_verifier import verify_routine
+
+        diagnostics = verify_routine(routine)
+        if diagnostics:
+            raise VerifyError("machine/dispatch", diagnostics)
+        seen.add(routine.name)
+
     def call_routine(self, routine: Routine,
                      bindings: dict[str, object],
                      region_extents: tuple[int, ...],
@@ -170,6 +194,7 @@ class Machine:
         """
         if layout is not None and len(layout) != len(region_extents):
             layout = None  # section computes fall back to block layout
+        self._verify_routine(routine)
         geom = make_geometry(region_extents, self.model.n_pes, layout)
         plan = get_plan(routine)
         streams: list[SubgridStream | None] = [None] * NUM_PREGS

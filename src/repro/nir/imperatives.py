@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..sourceloc import SourceLoc
 from . import decls as d
 from . import shapes as sh
 from . import values as v
@@ -37,6 +38,10 @@ class MoveClause:
     mask: v.Value
     src: v.Value
     tgt: v.Value
+    # Source position of the originating assignment; non-comparing so
+    # clause equality stays structural across transform rewrites.
+    loc: SourceLoc | None = field(default=None, compare=False, repr=False,
+                                  kw_only=True)
 
     def __str__(self) -> str:
         return f"({self.mask}, ({self.src}, {self.tgt}))"
@@ -57,9 +62,10 @@ class Move(Imperative):
         return f"MOVE[{inner}]"
 
 
-def move1(src: v.Value, tgt: v.Value, mask: v.Value = v.TRUE) -> Move:
+def move1(src: v.Value, tgt: v.Value, mask: v.Value = v.TRUE,
+          loc: SourceLoc | None = None) -> Move:
     """Convenience constructor for a single-clause MOVE."""
-    return Move((MoveClause(mask, src, tgt),))
+    return Move((MoveClause(mask, src, tgt, loc=loc),))
 
 
 @dataclass(frozen=True)

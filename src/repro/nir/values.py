@@ -20,13 +20,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..sourceloc import SourceLoc
 from . import types as ty
 from .ops import BinOp, UnOp
 
 
 @dataclass(frozen=True)
 class Value:
-    """Base class for all value-domain constructors."""
+    """Base class for all value-domain constructors.
+
+    ``loc`` is the source position of the Fortran expression this value
+    was lowered from (None for synthesized values).  It is excluded from
+    equality and hashing, so transforms that rely on structural equality
+    (CSE memo tables, mask comparisons) are unaffected by stamping.
+    """
+
+    loc: SourceLoc | None = field(default=None, compare=False, repr=False,
+                                  kw_only=True)
 
 
 # ---------------------------------------------------------------------------

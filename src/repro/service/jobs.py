@@ -9,14 +9,19 @@ speak the same protocol.
 Request shapes (``id`` is optional and echoed back verbatim)::
 
     {"op": "ping"}
-    {"op": "compile", "source": "...", "options": {...}}
+    {"op": "compile", "source": "...", "options": {...}, "verify": true}
     {"op": "run", "source": "...", "options": {...},
      "pes": 2048, "model": "slicewise", "exec": "fast"}
     {"op": "compare", "source": "...", "options": {...},
      "pes": 2048, "model": "slicewise", "exec": "fast"}
+    {"op": "lint", "source": "...", "strict": false}
 
 ``options`` mirrors the CLI pipeline flags: ``{"naive": bool,
-"neighborhood": bool, "target": "cm2"|"cm5"}``.  ``run`` responses carry
+"neighborhood": bool, "target": "cm2"|"cm5", "verify": bool}``.
+``"verify": true`` (request- or options-level) runs the verifier suite
+during compilation; a failure comes back as a structured error naming
+the offending pass plus a ``diagnostics`` list, not a bare message.
+``run`` responses carry
 the same payload as ``repro run --stats-json`` plus the program output;
 every response reports ``cache`` (``"hit"``/``"miss"``/``None``) and
 compile/run wall-clock seconds so the pool can aggregate metrics.
@@ -45,6 +50,8 @@ def build_options(spec: dict | None):
     target = spec.get("target", "cm2")
     if target != base.target:
         base = dataclasses.replace(base, target=target)
+    if spec.get("verify"):
+        base = dataclasses.replace(base, verify=True)
     return base
 
 
@@ -76,6 +83,8 @@ def _compile(request: dict, cache: CompileCache | None):
 
     source = _source_of(request)
     options = build_options(request.get("options"))
+    if request.get("verify") and not options.verify:
+        options = dataclasses.replace(options, verify=True)
     t0 = time.perf_counter()
     if cache is not None:
         key = cache_key(source, options)
@@ -137,6 +146,13 @@ def execute_request(request: dict,
     except Exception as exc:
         base["ok"] = False
         base["error"] = {"type": type(exc).__name__, "message": str(exc)}
+        from ..analysis.diagnostics import VerifyError
+
+        if isinstance(exc, VerifyError):
+            # Verifier failures are structured: name the offending pass
+            # and surface each violation rather than a bare message.
+            base["error"]["stage"] = exc.stage
+            base["diagnostics"] = [d.to_dict() for d in exc.diagnostics]
         if os.environ.get("REPRO_DEBUG") == "1":
             import traceback
 
@@ -190,6 +206,14 @@ def _dispatch(request: dict, cache: CompileCache | None) -> dict:
                               exec_mode=request.get("exec"),
                               options=build_options(request.get("options")))
         payload["timings"] = {"run_seconds": time.perf_counter() - t0}
+        return payload
+    if op == "lint":
+        from ..analysis.lint import lint_source
+
+        result = lint_source(_source_of(request), request.get("file"))
+        payload = result.to_dict()
+        payload["exit_code"] = result.exit_code(
+            strict=bool(request.get("strict")))
         return payload
     if op == "_sleep":  # test/ops hook: a slow job
         time.sleep(float(request.get("seconds", 1.0)))

@@ -67,6 +67,7 @@ class ServiceMetrics:
         self.requests = 0
         self.errors = 0
         self.timeouts = 0
+        self.verify_failures = 0
         self.retries = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -87,6 +88,8 @@ class ServiceMetrics:
                 error = response.get("error") or {}
                 if error.get("type") == "JobTimeout":
                     self.timeouts += 1
+                if error.get("type") == "VerifyError":
+                    self.verify_failures += 1
             cache = response.get("cache")
             if cache == "hit":
                 self.cache_hits += 1
@@ -115,6 +118,7 @@ class ServiceMetrics:
                 "requests": self.requests,
                 "errors": self.errors,
                 "timeouts": self.timeouts,
+                "verify_failures": self.verify_failures,
                 "retries": self.retries,
                 "per_op": dict(self.per_op),
                 "cache": {
@@ -135,7 +139,9 @@ class ServiceMetrics:
                 if cache["hit_rate"] is not None else "n/a")
         lines = [
             f"requests {snap['requests']}  errors {snap['errors']}  "
-            f"timeouts {snap['timeouts']}  retries {snap['retries']}",
+            f"timeouts {snap['timeouts']}  "
+            f"verify failures {snap['verify_failures']}  "
+            f"retries {snap['retries']}",
             f"cache    {cache['hits']} hits / {cache['misses']} misses "
             f"(hit rate {rate})",
         ]

@@ -1,0 +1,46 @@
+"""Source locations threaded from lexer tokens to NIR nodes.
+
+Every diagnostic-producing layer (the lint engine, the NIR verifier,
+semantic lowering) points at program text through a :class:`SourceLoc`.
+Locations ride along on AST and NIR nodes as non-comparing fields, so
+structural equality and hashing of IR nodes are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class SourceLoc:
+    """A 1-based line / column position in the source text."""
+
+    line: int
+    col: int = 0
+
+    def __str__(self) -> str:
+        if self.col:
+            return f"{self.line}:{self.col}"
+        return str(self.line)
+
+
+def attach_loc(exc: Exception, loc: SourceLoc | None) -> None:
+    """Record ``loc`` on an exception unless one is already attached.
+
+    Lowering wraps nested value/statement translation, so the innermost
+    (most precise) location wins.
+    """
+    if loc is not None and getattr(exc, "source_loc", None) is None:
+        exc.source_loc = loc  # type: ignore[attr-defined]
+
+
+def loc_of(obj) -> SourceLoc | None:
+    """The source location carried by an AST/NIR node or exception."""
+    loc = getattr(obj, "loc", None)
+    if loc is None:
+        loc = getattr(obj, "source_loc", None)
+    if loc is None:
+        line = getattr(obj, "line", 0)
+        if line:
+            return SourceLoc(line)
+    return loc

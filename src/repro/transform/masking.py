@@ -137,7 +137,8 @@ class MaskPadder:
             mask = nir.Binary(nir.BinOp.AND, region_mask, new_mask_in)
         self.report.padded += 1
         return nir.MoveClause(mask, new_src,
-                              nir.AVar(clause.tgt.name, nir.Everywhere()))
+                              nir.AVar(clause.tgt.name, nir.Everywhere()),
+                              loc=clause.loc)
 
     def region_mask(self, base_shape: nir.Shape,
                     base_extents: tuple[int, ...],

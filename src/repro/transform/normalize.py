@@ -159,7 +159,8 @@ class Normalizer:
                                        and clause.mask == nir.TRUE))
         mask = self._extract(clause.mask, prelude, root_scalar=False,
                              root_comm=False)
-        new_clause = nir.MoveClause(mask, src, clause.tgt)
+        new_clause = nir.MoveClause(mask, src, clause.tgt,
+                                    loc=clause.loc)
         if not scalar_target:
             new_clause, copies = self._align(new_clause)
             prelude.extend(copies)
@@ -314,7 +315,8 @@ class Normalizer:
                                    tuple(fix(a) for a in value.args))
             return value
 
-        new = nir.MoveClause(fix(clause.mask), fix(clause.src), clause.tgt)
+        new = nir.MoveClause(fix(clause.mask), fix(clause.src),
+                             clause.tgt, loc=clause.loc)
         return new, copies
 
     def _align_operand(self, operand: nir.AVar, tgt: nir.AVar,

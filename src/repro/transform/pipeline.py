@@ -87,22 +87,41 @@ def wrap_body(body: nir.Imperative, env: Environment,
 
 
 def optimize(lowered: LoweredProgram,
-             options: Options | None = None) -> TransformedProgram:
-    """Apply the target-independent NIR transformations."""
+             options: Options | None = None,
+             verify: bool | None = None) -> TransformedProgram:
+    """Apply the target-independent NIR transformations.
+
+    With ``verify`` on (default: the ``REPRO_VERIFY=1`` environment
+    switch) the NIR verifier runs on the input and after every pass, and
+    the blocking stage's schedule and fusion are audited against freshly
+    recomputed dependences; a :class:`~repro.analysis.diagnostics.
+    VerifyError` names the pass whose output first went wrong.
+    """
     options = options or Options()
+    if verify is None:
+        from ..analysis import verify_enabled
+        verify = verify_enabled()
     env = lowered.env
     report = TransformReport()
 
+    def checked(stage: str, node: nir.Imperative) -> None:
+        if verify:
+            from ..analysis.nir_verifier import assert_valid
+            assert_valid(node, env, stage)
+
     program = lowered.nir
+    checked("lower", program)
     if options.promote_loops:
         promoter = LoopPromoter(env)
         program = promoter.promote(program)
         report.promotion = promoter.report
+        checked("promote", program)
 
     normalizer = Normalizer(env, comm_cse=options.comm_cse,
                             neighborhood=options.neighborhood)
     program = normalizer.normalize(program)
     report.normalize = normalizer.report
+    checked("normalize", program)
 
     body = unwrap_body(program)
 
@@ -110,12 +129,16 @@ def optimize(lowered: LoweredProgram,
         padder = MaskPadder(env)
         body = padder.pad_program(body)
         report.masking = padder.report
+        checked("pad_masks", body)
 
     body = _eliminate_dead_scalar_stores(
         body, report.promotion.promoted_indices)
+    checked("dse", body)
 
     if options.block or options.fuse:
-        body = _block_recursive(body, env, options, report.blocking)
+        body = _block_recursive(body, env, options, report.blocking,
+                                verify=verify)
+        checked("block", body)
 
     program = wrap_body(body, env, program.name)
     result = TransformedProgram(nir=program, env=env, options=options,
@@ -188,11 +211,16 @@ def _eliminate_dead_scalar_stores(node: nir.Imperative,
 
 
 def _block_recursive(node: nir.Imperative, env: Environment,
-                     options: Options,
-                     report: BlockingReport) -> nir.Imperative:
-    """Apply schedule+fuse to every statement sequence, bottom-up."""
+                     options: Options, report: BlockingReport,
+                     verify: bool = False) -> nir.Imperative:
+    """Apply schedule+fuse to every statement sequence, bottom-up.
+
+    Under ``verify``, each sequence's reordering is audited against
+    dependences recomputed on the pre-schedule phases, and fusion is
+    checked to be pure clause concatenation.
+    """
     if isinstance(node, nir.Sequentially):
-        children = [_block_recursive(a, env, options, report)
+        children = [_block_recursive(a, env, options, report, verify)
                     for a in node.actions]
         seq = nir.seq(*children)
         if not isinstance(seq, nir.Sequentially):
@@ -201,25 +229,36 @@ def _block_recursive(node: nir.Imperative, env: Environment,
         phases = classifier.split(seq)
         report.phases_in += len(phases)
         if options.block:
+            before = list(phases)
             phases = schedule_phases(phases, report)
+            if verify:
+                from ..analysis.dep_audit import assert_schedule
+                assert_schedule(before, phases, env, "block/schedule")
         if options.fuse:
+            before = list(phases)
             phases = fuse_phases(phases, report)
+            if verify:
+                from ..analysis.dep_audit import assert_fusion
+                assert_fusion(before, phases, "block/fuse")
         else:
             report.phases_out += len(phases)
         return rebuild(phases)
     if isinstance(node, nir.Do):
-        return nir.Do(node.shape,
-                      _block_recursive(node.body, env, options, report),
-                      node.index_names)
+        return nir.Do(
+            node.shape,
+            _block_recursive(node.body, env, options, report, verify),
+            node.index_names)
     if isinstance(node, nir.While):
-        return nir.While(node.cond,
-                         _block_recursive(node.body, env, options, report))
+        return nir.While(
+            node.cond,
+            _block_recursive(node.body, env, options, report, verify))
     if isinstance(node, nir.IfThenElse):
         return nir.IfThenElse(
             node.cond,
-            _block_recursive(node.then, env, options, report),
-            _block_recursive(node.els, env, options, report))
+            _block_recursive(node.then, env, options, report, verify),
+            _block_recursive(node.els, env, options, report, verify))
     if isinstance(node, nir.Concurrently):
         return nir.Concurrently(tuple(
-            _block_recursive(a, env, options, report) for a in node.actions))
+            _block_recursive(a, env, options, report, verify)
+            for a in node.actions))
     return node

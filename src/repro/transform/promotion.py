@@ -225,7 +225,7 @@ class LoopPromoter:
                                   promoted_pos)
         mask = self._rewrite_value(clause.mask, index, axis_rng, new_region,
                                    promoted_pos)
-        return nir.MoveClause(mask, src, tgt)
+        return nir.MoveClause(mask, src, tgt, loc=clause.loc)
 
     def _region_positions(self, tgt: nir.AVar,
                           index: str) -> tuple[int, int]:

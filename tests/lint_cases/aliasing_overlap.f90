@@ -1,0 +1,6 @@
+program aliasing_overlap
+  real :: a(10)
+  a = 0.0
+  a(2:10) = a(1:9) + 1.0
+end program aliasing_overlap
+! expect: W202 @4

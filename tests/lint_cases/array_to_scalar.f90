@@ -1,0 +1,6 @@
+program array_to_scalar
+  real :: a(8), s
+  a = 1.0
+  s = a
+end program array_to_scalar
+! expect: S104 @4

@@ -1,0 +1,5 @@
+program assign_to_parameter
+  integer, parameter :: n = 4
+  n = 5
+end program assign_to_parameter
+! expect: S107 @3

@@ -1,0 +1,5 @@
+program bad_character
+  real :: a
+  a = 1.0 @ 2
+end program bad_character
+! expect: F001 @3

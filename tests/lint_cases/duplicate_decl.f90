@@ -1,0 +1,6 @@
+program duplicate_decl
+  real :: a(4)
+  real :: a(4)
+  a = 1.0
+end program duplicate_decl
+! expect: S101 @3

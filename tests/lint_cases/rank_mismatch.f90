@@ -1,0 +1,8 @@
+program rank_mismatch
+  real :: a(4, 4)
+  integer :: i
+  do i = 1, 4
+    a(i) = 0.0
+  end do
+end program rank_mismatch
+! expect: S105 @5

@@ -1,0 +1,6 @@
+program shape_mismatch
+  real :: a(10), b(20)
+  b = 1.0
+  a = b
+end program shape_mismatch
+! expect: S104 @4

@@ -1,0 +1,5 @@
+program syntax_error
+  real :: a(10)
+  a = = 1.0
+end program syntax_error
+! expect: F002 @3

@@ -1,0 +1,7 @@
+program type_mix
+  logical :: l
+  real :: x
+  x = 1.0
+  l = x + 1.0
+end program type_mix
+! expect: S106 @5

@@ -1,0 +1,5 @@
+program undeclared
+  real :: a(10)
+  a = x + 1.0
+end program undeclared
+! expect: S102 @3

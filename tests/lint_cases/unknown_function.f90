@@ -1,0 +1,6 @@
+program unknown_function
+  real :: a(10)
+  a = 1.0
+  a = frobnicate(a)
+end program unknown_function
+! expect: S103 @4

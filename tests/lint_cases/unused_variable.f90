@@ -1,0 +1,7 @@
+program unused_variable
+  real :: a(10)
+  real :: dead(5)
+  a = 1.0
+  print *, a(1)
+end program unused_variable
+! expect: W203 @3

@@ -1,0 +1,6 @@
+program use_before_set
+  real :: s, t
+  t = s + 1.0
+  print *, t
+end program use_before_set
+! expect: W201 @3

@@ -1,0 +1,10 @@
+program where_scalar_mask
+  real :: a(8)
+  logical :: m
+  a = 1.0
+  m = .true.
+  where (m)
+    a = 2.0
+  end where
+end program where_scalar_mask
+! expect: S106 @6

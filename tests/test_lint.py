@@ -1,0 +1,229 @@
+"""The ``repro lint`` engine: golden bad-program cases, the exit-code
+contract, output formats, and the CLI surface."""
+
+from __future__ import annotations
+
+import glob
+import json
+import re
+
+import pytest
+
+from repro.analysis.lint import (LintResult, format_text, lint_file,
+                                 lint_source)
+from repro.driver import cli
+
+CASES = sorted(glob.glob("tests/lint_cases/*.f90"))
+
+EXPECT = re.compile(r"!\s*expect:\s*(\w+)(?:\s*@(\d+))?")
+
+CLEAN = """
+program clean
+  real :: a(8), b(8)
+  a = 1.0
+  b = a * 2.0
+  a = b + a
+  print *, a
+end program clean
+"""
+
+WARN_ONLY = """
+program warn
+  real :: unused(4)
+  real :: a(8)
+  a = 1.0
+  print *, a
+end program warn
+"""
+
+
+def expectations(path: str) -> list[tuple[str, int | None]]:
+    with open(path) as f:
+        text = f.read()
+    found = [(code, int(line) if line else None)
+             for code, line in EXPECT.findall(text)]
+    assert found, f"{path} has no '! expect: CODE @line' marker"
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Golden cases
+# ---------------------------------------------------------------------------
+
+
+def test_enough_golden_cases():
+    assert len(CASES) >= 10
+
+
+@pytest.mark.parametrize("path", CASES)
+def test_golden_case(path):
+    result = lint_file(path)
+    got = [(d.code, d.line) for d in result.diagnostics]
+    for code, line in expectations(path):
+        assert any(c == code and (line is None or l == line)
+                   for c, l in got), (
+            f"{path}: expected {code}"
+            + (f" at line {line}" if line else "")
+            + f", got {got}")
+    # Every error case must exit 2; warning-only cases exit 1.
+    expected_exit = 2 if result.errors else 1
+    assert result.exit_code() == expected_exit
+
+
+@pytest.mark.parametrize("path", CASES)
+def test_golden_case_locations_are_real(path):
+    with open(path) as f:
+        n_lines = len(f.read().splitlines())
+    for d in lint_file(path).diagnostics:
+        assert 1 <= d.line <= n_lines
+        assert d.file == path
+
+
+def test_diagnostics_are_sorted_by_location():
+    for path in CASES:
+        diags = lint_file(path).diagnostics
+        keys = [(d.line, d.col, d.code) for d in diags]
+        assert keys == sorted(keys)
+
+
+# ---------------------------------------------------------------------------
+# Exit-code contract: 0 clean, 1 warnings, 2 errors (or warnings --strict)
+# ---------------------------------------------------------------------------
+
+
+class TestExitContract:
+    def test_clean_is_zero(self):
+        result = lint_source(CLEAN)
+        assert result.diagnostics == []
+        assert result.exit_code() == 0
+        assert result.exit_code(strict=True) == 0
+
+    def test_warnings_only_is_one(self):
+        result = lint_source(WARN_ONLY)
+        assert result.errors == []
+        assert [d.code for d in result.warnings] == ["W203"]
+        assert result.exit_code() == 1
+
+    def test_strict_promotes_warnings(self):
+        assert lint_source(WARN_ONLY).exit_code(strict=True) == 2
+
+    def test_errors_are_two(self):
+        result = lint_source("program p\n  a = = 1\nend program p\n")
+        assert result.errors
+        assert result.exit_code() == 2
+        assert result.exit_code(strict=True) == 2
+
+    def test_example_programs_are_clean_of_errors(self):
+        for path in sorted(glob.glob("examples/*.f90")):
+            assert lint_file(path).exit_code() < 2, path
+
+    def test_never_raises_on_garbage(self):
+        for source in ("", "@@@", "program p", "end", "\x00\x01"):
+            assert isinstance(lint_source(source), LintResult)
+
+
+# ---------------------------------------------------------------------------
+# Output formats
+# ---------------------------------------------------------------------------
+
+
+class TestFormats:
+    def test_text_format(self):
+        path = "tests/lint_cases/undeclared.f90"
+        text = format_text(lint_file(path))
+        assert path in text
+        assert "[S102]" in text
+        assert re.search(r"\d+ error\(s\), \d+ warning\(s\)", text)
+
+    def test_to_dict_shape(self):
+        d = lint_file("tests/lint_cases/shape_mismatch.f90").to_dict()
+        assert d["file"] == "tests/lint_cases/shape_mismatch.f90"
+        assert d["errors"] >= 1
+        for diag in d["diagnostics"]:
+            assert {"code", "severity", "message", "line", "col",
+                    "file"} <= set(diag)
+
+    def test_severities(self):
+        result = lint_source(WARN_ONLY)
+        assert all(d.to_dict()["severity"] == "warning"
+                   for d in result.diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestLintCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "clean.f90"
+        f.write_text(CLEAN)
+        assert cli.main(["lint", str(f)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_error_file_exits_two(self, capsys):
+        rc = cli.main(["lint", "tests/lint_cases/undeclared.f90"])
+        assert rc == 2
+        assert "[S102]" in capsys.readouterr().out
+
+    def test_warning_file_exits_one(self, tmp_path):
+        f = tmp_path / "warn.f90"
+        f.write_text(WARN_ONLY)
+        assert cli.main(["lint", str(f)]) == 1
+
+    def test_strict_flag(self, tmp_path):
+        f = tmp_path / "warn.f90"
+        f.write_text(WARN_ONLY)
+        assert cli.main(["lint", "--strict", str(f)]) == 2
+
+    def test_multiple_files_worst_exit_wins(self, tmp_path):
+        clean = tmp_path / "clean.f90"
+        clean.write_text(CLEAN)
+        rc = cli.main(["lint", str(clean),
+                       "tests/lint_cases/undeclared.f90"])
+        assert rc == 2
+
+    def test_json_format(self, capsys):
+        path = "tests/lint_cases/shape_mismatch.f90"
+        rc = cli.main(["lint", "--format=json", path])
+        assert rc == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["file"] == path
+        assert payload["exit_code"] == 2
+        assert any(d["code"] == "S104" for d in payload["diagnostics"])
+
+    def test_json_format_many_files(self, tmp_path, capsys):
+        f = tmp_path / "clean.f90"
+        f.write_text(CLEAN)
+        cli.main(["lint", "--format=json", str(f),
+                  "tests/lint_cases/undeclared.f90"])
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 2
+
+    def test_stdin(self, monkeypatch, capsys):
+        import io
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO(CLEAN))
+        assert cli.main(["lint", "-"]) == 0
+        assert "<stdin>" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Service op
+# ---------------------------------------------------------------------------
+
+
+def test_service_lint_op():
+    from repro.service.jobs import execute_request
+
+    r = execute_request({"op": "lint",
+                         "file": "tests/lint_cases/undeclared.f90"})
+    assert r["ok"]
+    assert r["exit_code"] == 2
+    assert any(d["code"] == "S102" for d in r["diagnostics"])
+
+    r = execute_request({"op": "lint", "source": WARN_ONLY,
+                         "strict": True})
+    assert r["exit_code"] == 2
