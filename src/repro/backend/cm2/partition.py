@@ -41,6 +41,10 @@ class PartitionReport:
 class Cm2Compiler:
     """Drives the host/node split and the sibling FE and PE compilers."""
 
+    #: The target-registry name this backend serves
+    #: (see :mod:`repro.targets`).
+    target_name = "cm2"
+
     def __init__(self, env: Environment,
                  domains: dict[str, nir.Shape] | None = None,
                  options: BackendOptions | None = None,

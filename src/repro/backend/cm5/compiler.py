@@ -45,6 +45,8 @@ class Cm5Report(PartitionReport):
 class Cm5Compiler(Cm2Compiler):
     """Three-level target: control processor / SPARC node / vector units."""
 
+    target_name = "cm5"
+
     def __init__(self, env, domains=None, options=None,
                  layouts=None) -> None:
         super().__init__(env, domains=domains, options=options,

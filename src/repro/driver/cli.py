@@ -29,10 +29,11 @@ import time
 
 from .. import nir
 from ..baselines import compile_cmfortran, compile_starlisp
-from ..machine import Machine, cm5_model, fieldwise_model, slicewise_model
+from ..machine import Machine, fieldwise_model, model_names, slicewise_model
 from ..peac import format_routine
 from ..runtime.host import format_host_program
 from ..runtime.sparc import render_sparc
+from ..targets import build_machine, target_names
 from .compiler import CompilerOptions, compile_source
 from .metrics import summarize
 
@@ -54,27 +55,57 @@ def _options(args) -> CompilerOptions:
 
 
 def _machine(args) -> Machine:
-    n_pes = getattr(args, "pes", 2048)
-    name = getattr(args, "model", "slicewise")
-    mode = getattr(args, "exec_mode", None)
-    if name == "fieldwise":
-        return Machine(fieldwise_model(n_pes), exec_mode=mode)
-    if name == "cm5":
-        return Machine(cm5_model(n_pes), exec_mode=mode)
-    return Machine(slicewise_model(n_pes), exec_mode=mode)
+    """The run machine, resolved through the target registry.
+
+    ``--model`` defaults to the target's own cost model (``--target
+    cm5`` runs under the cm5 model without extra flags); an explicit
+    model that the target cannot run under is an error, never a silent
+    slicewise fallback.
+    """
+    return build_machine(getattr(args, "target", "cm2"),
+                         model=getattr(args, "model", None),
+                         pes=getattr(args, "pes", 2048),
+                         exec_mode=getattr(args, "exec_mode", None))
 
 
 def _compile(args, source: str):
     """Compile honoring the --cache flag (None defers to $REPRO_CACHE)."""
     cache = True if getattr(args, "cache", False) else None
-    return compile_source(source, _options(args), cache=cache)
+    return compile_source(source, _options(args), cache=cache,
+                          dump_after=tuple(getattr(args, "dump_after", None)
+                                           or ()))
 
 
-def _read_source(path: str) -> str:
+def _read_source(path: str | None) -> str:
+    if path is None:
+        raise FileNotFoundError("no input file (pass a path, or - for "
+                                "stdin)")
     if path == "-":
         return sys.stdin.read()
     with open(path) as f:
         return f.read()
+
+
+def _list_passes() -> int:
+    """``--list-passes``: the registered pipeline, in run order."""
+    from ..transform import PASSES, Options
+
+    defaults = Options()
+    naive = Options.naive()
+    print(f"{'#':<3} {'pass':<12} {'scope':<8} {'default':<8} "
+          f"{'naive':<8} description")
+    for i, p in enumerate(PASSES, 1):
+        print(f"{i:<3} {p.name:<12} {p.scope:<8} "
+              f"{'on' if p.enabled(defaults) else 'off':<8} "
+              f"{'on' if p.enabled(naive) else 'off':<8} {p.description}")
+    return 0
+
+
+def _print_dumps(exe, dump_after, out) -> None:
+    for name in dump_after or ():
+        print(f"=== NIR after pass {name!r} ===", file=out)
+        print(exe.transformed.trace.dumps.get(name, "(pass did not run)"),
+              file=out)
 
 
 # -- shared argument groups -------------------------------------------------
@@ -87,13 +118,19 @@ def _add_pipeline_args(p: argparse.ArgumentParser) -> None:
                    help="per-statement compilation, naive node encoding")
     g.add_argument("--neighborhood", action="store_true",
                    help="§5.3.2 neighborhood model (CSHIFT halo streams)")
-    g.add_argument("--target", choices=["cm2", "cm5"], default="cm2")
+    g.add_argument("--target", choices=target_names(), default="cm2")
     g.add_argument("--cache", action="store_true",
                    help="consult the persistent compile cache "
                         "(~/.cache/repro; also $REPRO_CACHE=1)")
     g.add_argument("--verify", action="store_true",
                    help="run the verifier suite between passes "
                         "(also $REPRO_VERIFY=1)")
+    g.add_argument("--list-passes", action="store_true",
+                   help="print the registered pass pipeline and exit")
+    g.add_argument("--dump-after", action="append", metavar="PASS",
+                   default=None,
+                   help="print the NIR after the named pass (repeatable; "
+                        "see --list-passes)")
 
 
 def _add_exec_args(p: argparse.ArgumentParser) -> None:
@@ -101,8 +138,8 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
     g = p.add_argument_group("execution")
     g.add_argument("--pes", type=int, default=2048,
                    help="number of processing elements (power of two)")
-    g.add_argument("--model", choices=["slicewise", "fieldwise", "cm5"],
-                   default="slicewise")
+    g.add_argument("--model", choices=model_names(), default=None,
+                   help="cost model (default: the target's own model)")
     g.add_argument("--exec", dest="exec_mode", choices=["fast", "interp"],
                    default=None,
                    help="node execution engine (default: $REPRO_EXEC "
@@ -113,8 +150,11 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
 
 
 def cmd_compile(args) -> int:
+    if args.list_passes:
+        return _list_passes()
     source = _read_source(args.file)
     exe = _compile(args, source)
+    _print_dumps(exe, args.dump_after, sys.stdout)
     emits = args.emit or ["peac"]
     out = []
     if "nir" in emits:
@@ -144,10 +184,13 @@ def cmd_compile(args) -> int:
 
 
 def cmd_run(args) -> int:
+    if args.list_passes:
+        return _list_passes()
     source = _read_source(args.file)
     t0 = time.perf_counter()
     exe = _compile(args, source)
     compile_s = time.perf_counter() - t0
+    _print_dumps(exe, args.dump_after, sys.stderr)
     machine = _machine(args)
     t0 = time.perf_counter()
     result = exe.run(machine)
@@ -160,11 +203,13 @@ def cmd_run(args) -> int:
     if args.stats_json:
         payload = {
             "model": machine.model.name,
+            "target": exe.options.target,
             "exec_mode": machine.exec_mode,
             "compile_seconds": compile_s,
             "run_seconds": run_s,
             "gflops": result.gflops(),
             "stats": result.stats.to_dict(),
+            "pipeline": exe.transformed.trace.to_dict(),
         }
         with open(args.stats_json, "w") as f:
             json.dump(payload, f, indent=2, sort_keys=True)
@@ -181,12 +226,17 @@ def cmd_run(args) -> int:
         for name, cycles in sorted(result.stats.per_routine.items()):
             print(f"  {name:<12} {cycles:>12,d} node cycles",
                   file=sys.stderr)
+        print("pipeline passes:", file=sys.stderr)
+        for line in exe.transformed.trace.summary_lines():
+            print(line, file=sys.stderr)
     return 0
 
 
 def cmd_compare(args) -> int:
     from ..service.jobs import speedup_str
 
+    if args.list_passes:
+        return _list_passes()
     source = _read_source(args.file)
     mode = args.exec_mode
     rows = []
@@ -280,7 +330,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compile", help="compile and print IRs")
-    p.add_argument("file", help="Fortran source file, or - for stdin")
+    p.add_argument("file", nargs="?",
+                   help="Fortran source file, or - for stdin")
     p.add_argument("--emit", action="append",
                    choices=["nir", "nir-opt", "peac", "host", "sparc"],
                    help="IR(s) to print (default: peac)")
@@ -288,7 +339,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="compile and execute on the simulator")
-    p.add_argument("file", help="Fortran source file, or - for stdin")
+    p.add_argument("file", nargs="?",
+                   help="Fortran source file, or - for stdin")
     _add_pipeline_args(p)
     _add_exec_args(p)
     p.add_argument("--stats", action="store_true",
@@ -302,7 +354,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compare",
                        help="the §6 three-compiler comparison")
-    p.add_argument("file", help="Fortran source file, or - for stdin")
+    p.add_argument("file", nargs="?",
+                   help="Fortran source file, or - for stdin")
     _add_pipeline_args(p)
     _add_exec_args(p)
     p.set_defaults(func=cmd_compare)

@@ -14,15 +14,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..backend.cm2.partition import Cm2Compiler, PartitionReport
+from ..backend.cm2.partition import PartitionReport
 from ..backend.cm2.pe_compiler import BackendOptions
 from ..frontend import ast_nodes as A
 from ..frontend.directives import parse_layout_directives
 from ..frontend.parser import parse_program
 from ..lowering import LoweredProgram, check_program, lower_program
 from ..lowering.environment import Environment
-from ..machine import CostModel, Machine, RunStats, slicewise_model
+from ..machine import CostModel, Machine, RunStats
 from ..runtime.host import HostExecutor, HostProgram
+from ..targets import get_target
 from ..transform import Options as TransformOptions
 from ..transform import TransformedProgram, optimize
 
@@ -79,11 +80,18 @@ class Executable:
         """Execute on a (fresh, unless given) simulated machine.
 
         ``exec_mode`` picks the node execution engine (``"fast"`` plans
-        or the ``"interp"`` oracle) when no machine is supplied.
+        or the ``"interp"`` oracle) when no machine is supplied.  The
+        default machine comes from the target registry — a cm5
+        executable runs under the cm5 cost model without any extra
+        plumbing.
         """
         if machine is None:
-            machine = Machine(model or slicewise_model(),
-                              exec_mode=exec_mode)
+            if model is not None:
+                machine = Machine(model, exec_mode=exec_mode)
+            else:
+                from ..targets import build_machine
+                machine = build_machine(self.options.target,
+                                        exec_mode=exec_mode)
         executor = HostExecutor(machine)
         if inputs:
             # Inputs override initial contents after allocation, so run
@@ -113,40 +121,38 @@ class RunResult:
 
 def compile_unit(unit: A.ProgramUnit,
                  options: CompilerOptions | None = None,
-                 layouts: dict[str, tuple[str, ...]] | None = None
-                 ) -> Executable:
-    """Compile a parsed program unit through the full pipeline."""
+                 layouts: dict[str, tuple[str, ...]] | None = None,
+                 dump_after: tuple[str, ...] = ()) -> Executable:
+    """Compile a parsed program unit through the full pipeline.
+
+    The target-specific phase is resolved through the target registry
+    (:mod:`repro.targets`): the options' ``target`` names a
+    :class:`~repro.targets.Target` record that supplies the backend
+    compiler class and whether PEAC routine verification applies.
+    """
     options = options or CompilerOptions()
+    target = get_target(options.target)
     from ..analysis import verify_enabled
     verify = options.verify or verify_enabled()
     lowered = lower_program(unit)
     check_program(lowered.nir, lowered.env)
-    transformed = optimize(lowered, options.transform, verify=verify)
-    if options.target == "cm2":
-        cm2 = Cm2Compiler(transformed.env, options=options.backend,
-                          layouts=layouts)
-        host_program = cm2.compile_program(transformed.nir)
-        report = cm2.report
-    elif options.target == "cm5":
-        from ..backend.cm5.compiler import Cm5Compiler
-
-        cm5 = Cm5Compiler(transformed.env, options=options.backend,
-                          layouts=layouts)
-        host_program = cm5.compile_program(transformed.nir)
-        report = cm5.report
-    else:
-        raise ValueError(f"unknown target {options.target!r}")
-    if verify and options.target == "cm2":
+    transformed = optimize(lowered, options.transform, verify=verify,
+                           dump_after=dump_after)
+    backend = target.compiler()(transformed.env, options=options.backend,
+                                layouts=layouts)
+    host_program = backend.compile_program(transformed.nir)
+    if verify and target.verify_peac:
         from ..analysis.peac_verifier import verify_routines
         verify_routines(host_program.routines, stage="backend/peac")
     return Executable(host_program=host_program, env=transformed.env,
                       unit=unit, lowered=lowered, transformed=transformed,
-                      partition=report, options=options)
+                      partition=backend.report, options=options)
 
 
 def compile_source(source: str,
                    options: CompilerOptions | None = None,
-                   cache=None) -> Executable:
+                   cache=None,
+                   dump_after: tuple[str, ...] = ()) -> Executable:
     """Compile Fortran 90 source text through the full pipeline.
 
     ``!layout:`` comment directives in the source select explicit data
@@ -158,7 +164,13 @@ def compile_source(source: str,
     on-disk cache, or ``False`` to force a fresh compile.  The default
     (``None``) follows ``$REPRO_CACHE`` — set ``REPRO_CACHE=1`` to make
     every compile in the process cache-backed.
+
+    ``dump_after`` (pass names) captures pretty-printed NIR snapshots
+    into the transform trace; it forces a fresh compile, since a cache
+    hit would skip the passes being observed.
     """
+    if dump_after:
+        cache = False
     if cache is None:
         cache = os.environ.get("REPRO_CACHE") in ("1", "true", "yes")
     if cache:
@@ -168,4 +180,5 @@ def compile_source(source: str,
         exe, _hit = store.compile(source, options)
         return exe
     layouts = parse_layout_directives(source)
-    return compile_unit(parse_program(source), options, layouts=layouts)
+    return compile_unit(parse_program(source), options, layouts=layouts,
+                        dump_after=dump_after)

@@ -1,7 +1,15 @@
 """The simulated CM/2: PEs, Weitek datapath, network, geometry, costs."""
 
 from .cm2 import ArrayHome, Machine, MachineError, region_slices
-from .costs import CostModel, InstructionCosts, cm5_model, fieldwise_model, slicewise_model
+from .costs import (
+    MODEL_FACTORIES,
+    CostModel,
+    InstructionCosts,
+    cm5_model,
+    fieldwise_model,
+    model_names,
+    slicewise_model,
+)
 from .geometry import Geometry, coordinate_array, make_geometry
 from .pe import (
     ExecutionError,

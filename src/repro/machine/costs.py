@@ -120,11 +120,29 @@ class CostModel:
         return replace(self, **kwargs)
 
 
+#: The canonical cost-model name → factory table.  The target registry
+#: (:mod:`repro.targets`) resolves CLI/service ``model`` names through
+#: this — an unknown name is an error there, never a silent fallback.
+MODEL_FACTORIES: dict = {}
+
+
+def _model(factory):
+    MODEL_FACTORIES[factory.__name__.removesuffix("_model")] = factory
+    return factory
+
+
+def model_names() -> list[str]:
+    """The registered cost-model names, in registration order."""
+    return list(MODEL_FACTORIES)
+
+
+@_model
 def slicewise_model(n_pes: int = 2048) -> CostModel:
     """The CM/2 slicewise PE model (CM Fortran and Fortran-90-Y target)."""
     return CostModel(name="cm2-slicewise", n_pes=n_pes)
 
 
+@_model
 def fieldwise_model(n_pes: int = 2048) -> CostModel:
     """The fieldwise execution model of the hand-coded \\*Lisp baseline.
 
@@ -172,6 +190,7 @@ def fieldwise_model(n_pes: int = 2048) -> CostModel:
     )
 
 
+@_model
 def cm5_model(n_nodes: int = 256) -> CostModel:
     """A first-order CM/5 model: SPARC nodes with four vector datapaths.
 

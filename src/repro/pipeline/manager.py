@@ -1,0 +1,116 @@
+"""The :class:`PassManager`: runs a pipeline, owns the cross-cutting
+concerns.
+
+The manager is the only place that knows about scope transitions
+(program-scope passes see the WITH_DOMAIN/WITH_DECL scaffolding, body
+passes see the bare statement tree), per-pass instrumentation (wall
+time and IR node-count deltas into a
+:class:`~repro.pipeline.trace.PipelineTrace`), inter-pass verification
+(the NIR verifier runs on the input and after every executed pass,
+naming the offending stage), and ``--dump-after`` snapshots.  Passes
+themselves stay pure transformations.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Sequence
+
+from .. import nir
+from ..lowering.environment import Environment
+from .passes import Pass, PassContext
+from .registry import UnknownPassError
+from .trace import PassTiming, PipelineTrace
+
+
+def unwrap_body(program: nir.Program) -> nir.Imperative:
+    """Strip the PROGRAM/WITH_DOMAIN/WITH_DECL scaffolding."""
+    node: nir.Imperative = program.body
+    while isinstance(node, (nir.WithDomain, nir.WithDecl)):
+        node = node.body
+    return node
+
+
+def wrap_body(body: nir.Imperative, env: Environment,
+              name: str) -> nir.Program:
+    """Re-apply scoping: declarations innermost, domains around them."""
+    scoped: nir.Imperative = nir.WithDecl(env.nir_declarations(), body)
+    for dom_name, shape in reversed(list(env.domains.items())):
+        scoped = nir.WithDomain(dom_name, shape, scoped)
+    return nir.Program(scoped, name=name)
+
+
+def ir_size(node: nir.Imperative) -> int:
+    """IR weight: imperative node count (cheap, monotone under growth)."""
+    return sum(1 for _ in nir.imperatives.walk(node))
+
+
+class PassManager:
+    """Drive a pass sequence over one lowered program."""
+
+    def __init__(self, passes: Sequence[Pass], *, verify: bool = False,
+                 dump_after: Iterable[str] = ()) -> None:
+        self.passes = list(passes)
+        self.verify = verify
+        self.dump_after = tuple(dump_after)
+        known = {p.name for p in self.passes}
+        for name in self.dump_after:
+            if name not in known:
+                raise UnknownPassError(name, known)
+
+    # ------------------------------------------------------------------
+
+    def _checked(self, trace: PipelineTrace, stage: str, node, env) -> None:
+        if not self.verify:
+            return
+        from ..analysis.nir_verifier import assert_valid
+
+        t0 = time.perf_counter()
+        assert_valid(node, env, stage)
+        trace.verify_seconds += time.perf_counter() - t0
+
+    def run(self, program: nir.Program, env: Environment, options: Any,
+            report: Any, input_stage: str = "input"
+            ) -> tuple[nir.Program, PipelineTrace]:
+        """Run every enabled pass; return the program and its trace.
+
+        ``input_stage`` names the producer of ``program`` for the
+        verifier's initial well-formedness check (the driver passes
+        ``"lower"``).
+        """
+        trace = PipelineTrace()
+        t_run = time.perf_counter()
+        self._checked(trace, input_stage, program, env)
+
+        current: nir.Imperative = program
+        in_body = False  # whether ``current`` is the unwrapped body
+        name = program.name
+
+        for p in self.passes:
+            if not p.enabled(options):
+                trace.passes.append(PassTiming(p.name, enabled=False))
+                continue
+            if p.scope == "body" and not in_body:
+                current = unwrap_body(current)
+                in_body = True
+            elif p.scope == "program" and in_body:
+                current = wrap_body(current, env, name)
+                in_body = False
+            before = ir_size(current)
+            ctx = PassContext(node=current, env=env, options=options,
+                              report=report, verify=self.verify)
+            t0 = time.perf_counter()
+            current = p.run(ctx)
+            seconds = time.perf_counter() - t0
+            trace.passes.append(PassTiming(
+                p.name, seconds=seconds, ir_before=before,
+                ir_after=ir_size(current)))
+            self._checked(trace, p.name, current, env)
+            if p.name in self.dump_after:
+                trace.dumps[p.name] = nir.pretty(current)
+
+        if in_body:
+            current = wrap_body(current, env, name)
+        trace.total_seconds = time.perf_counter() - t_run
+        assert isinstance(current, nir.Program)
+        return current, trace

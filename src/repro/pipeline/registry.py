@@ -1,0 +1,75 @@
+"""The ordered pass registry: registration order is the pipeline.
+
+One process-wide :class:`PassRegistry` instance
+(:data:`repro.transform.passes.PASSES`) holds the NIR transform
+pipeline; tests build private registries to exercise orderings.  A
+registry is a tiny ordered mapping with two jobs: resolve names to
+:class:`~repro.pipeline.passes.Pass` records (unknown names raise
+:class:`UnknownPassError`, never fall back silently) and render the
+pipeline identity used by the compile cache and ``--list-passes``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from .passes import Pass
+
+
+class UnknownPassError(ValueError):
+    """A pass name that is not registered (no silent fallback)."""
+
+    def __init__(self, name: str, known: Iterable[str]) -> None:
+        self.pass_name = name
+        self.known = sorted(known)
+        super().__init__(
+            f"unknown pass {name!r}; registered passes: "
+            f"{', '.join(self.known) or '(none)'}")
+
+
+class PassRegistry:
+    """An insertion-ordered collection of passes."""
+
+    def __init__(self) -> None:
+        self._passes: dict[str, Pass] = {}
+
+    def register(self, p: Pass) -> Pass:
+        if p.name in self._passes:
+            raise ValueError(f"pass {p.name!r} registered twice")
+        self._passes[p.name] = p
+        return p
+
+    def get(self, name: str) -> Pass:
+        try:
+            return self._passes[name]
+        except KeyError:
+            raise UnknownPassError(name, self._passes) from None
+
+    def names(self) -> list[str]:
+        return list(self._passes)
+
+    def __iter__(self) -> Iterator[Pass]:
+        return iter(self._passes.values())
+
+    def __len__(self) -> int:
+        return len(self._passes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._passes
+
+    def pipeline(self, names: Iterable[str] | None = None) -> list[Pass]:
+        """The pass objects for ``names`` (default: registration order)."""
+        if names is None:
+            return list(self._passes.values())
+        return [self.get(name) for name in names]
+
+    def identity(self, options: Any,
+                 names: Iterable[str] | None = None) -> list[dict]:
+        """Ordered ``{name, config}`` records of the *enabled* passes.
+
+        This is the pipeline's cache-key contribution: reordering,
+        disabling, or reconfiguring any pass changes it, so stale
+        artifacts compiled under a different pipeline never hit.
+        """
+        return [p.identity(options) for p in self.pipeline(names)
+                if p.enabled(options)]

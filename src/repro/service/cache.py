@@ -49,7 +49,9 @@ import tempfile
 #: Bump to invalidate every existing cache entry (pipeline or pickle
 #: layout changes).  The package version participates in the key too,
 #: so releases never read each other's artifacts.
-SCHEMA_VERSION = 1
+#: 2: keys carry the resolved pass-pipeline identity; executables carry
+#:    a PipelineTrace.
+SCHEMA_VERSION = 2
 
 _DEFAULT_MAX_BYTES = 512 * 1024 * 1024
 
@@ -63,23 +65,35 @@ def _options_payload(options) -> dict:
     }
 
 
-def cache_key(source: str, options=None, machine: dict | None = None) -> str:
-    """Content address of a compilation: source + options + versions.
+def cache_key(source: str, options=None, machine: dict | None = None,
+              pipeline: list | None = None) -> str:
+    """Content address of a compilation: source + options + pipeline +
+    versions.
 
     ``machine`` is an optional JSON-serializable machine-configuration
     tag for callers whose artifacts depend on more than the pipeline
     (the core pipeline is machine-independent: geometries are built at
     run time).
+
+    ``pipeline`` is the resolved pass-pipeline identity — the ordered
+    ``{name, config}`` records of the enabled passes.  It defaults to
+    the registry's resolution for ``options``, so registering,
+    reordering, disabling, or reconfiguring a pass invalidates stale
+    artifacts without a schema bump.
     """
     from .. import __version__
     from ..driver.compiler import CompilerOptions
+    from ..transform import pipeline_identity
 
     options = options or CompilerOptions()
+    if pipeline is None:
+        pipeline = pipeline_identity(options.transform)
     payload = {
         "schema": SCHEMA_VERSION,
         "repro": __version__,
         "source": source,
         "options": _options_payload(options),
+        "pipeline": pipeline,
     }
     if machine:
         payload["machine"] = machine

@@ -18,6 +18,12 @@ Request shapes (``id`` is optional and echoed back verbatim)::
 
 ``options`` mirrors the CLI pipeline flags: ``{"naive": bool,
 "neighborhood": bool, "target": "cm2"|"cm5", "verify": bool}``.
+Targets and cost models resolve through :mod:`repro.targets`: an
+unknown ``target`` or ``model`` (or a model the target cannot run
+under) is a structured error response, and an omitted ``model``
+defaults to the target's own cost model.  ``compile`` and ``run``
+responses carry the transform pipeline's per-pass trace under
+``"pipeline"``.
 ``"verify": true`` (request- or options-level) runs the verifier suite
 during compilation; a failure comes back as a structured error naming
 the offending pass plus a ``diagnostics`` list, not a bare message.
@@ -37,8 +43,15 @@ from .cache import CompileCache, cache_key
 
 
 def build_options(spec: dict | None):
-    """CompilerOptions from a request's ``options`` dict."""
+    """CompilerOptions from a request's ``options`` dict.
+
+    The ``target`` name resolves through the target registry — an
+    unknown target raises
+    :class:`~repro.targets.UnknownTargetError`, which
+    :func:`execute_request` turns into a structured error response.
+    """
     from ..driver.compiler import CompilerOptions
+    from ..targets import get_target
 
     spec = spec or {}
     if spec.get("naive"):
@@ -47,7 +60,7 @@ def build_options(spec: dict | None):
         base = CompilerOptions.neighborhood()
     else:
         base = CompilerOptions()
-    target = spec.get("target", "cm2")
+    target = get_target(spec.get("target", "cm2")).name
     if target != base.target:
         base = dataclasses.replace(base, target=target)
     if spec.get("verify"):
@@ -55,17 +68,21 @@ def build_options(spec: dict | None):
     return base
 
 
-def build_machine(request: dict):
-    """A fresh simulated machine from a request's execution fields."""
-    from ..machine import Machine, cm5_model, fieldwise_model, \
-        slicewise_model
+def build_machine(request: dict, target: str = "cm2"):
+    """A fresh simulated machine from a request's execution fields.
 
-    pes = int(request.get("pes", 2048))
-    name = request.get("model", "slicewise")
-    mode = request.get("exec")
-    model = {"fieldwise": fieldwise_model,
-             "cm5": cm5_model}.get(name, slicewise_model)(pes)
-    return Machine(model, exec_mode=mode)
+    Resolution goes through the target registry: an omitted ``model``
+    defaults to the target's own cost model, and an unknown or
+    target-incompatible model is an error response, never a silent
+    slicewise fallback.
+    """
+    from ..targets import build_machine as registry_build_machine
+
+    return registry_build_machine(
+        target,
+        model=request.get("model"),
+        pes=int(request.get("pes", 2048)),
+        exec_mode=request.get("exec"))
 
 
 def _source_of(request: dict) -> str:
@@ -169,6 +186,7 @@ def _dispatch(request: dict, cache: CompileCache | None) -> dict:
         return {
             "cache": state,
             "timings": {"compile_seconds": secs},
+            "pipeline": exe.transformed.trace.to_dict(),
             "partition": {
                 "compute_blocks": exe.partition.compute_blocks,
                 "comm_phases": exe.partition.comm_phases,
@@ -179,7 +197,7 @@ def _dispatch(request: dict, cache: CompileCache | None) -> dict:
         }
     if op == "run":
         exe, key, state, compile_s = _compile(request, cache)
-        machine = build_machine(request)
+        machine = build_machine(request, target=exe.options.target)
         t0 = time.perf_counter()
         result = exe.run(machine)
         run_s = time.perf_counter() - t0
@@ -191,6 +209,8 @@ def _dispatch(request: dict, cache: CompileCache | None) -> dict:
             "cache": state,
             "timings": {"compile_seconds": compile_s,
                         "run_seconds": run_s},
+            "pipeline": exe.transformed.trace.to_dict(),
+            "target": exe.options.target,
             "model": machine.model.name,
             "exec_mode": machine.exec_mode,
             "compile_seconds": compile_s,

@@ -73,6 +73,10 @@ class ServiceMetrics:
         self.cache_misses = 0
         self.per_op: dict[str, int] = {}
         self.latency = {name: LatencyStat() for name in self.STATS}
+        #: Per-compiler-pass wall time, folded from each response's
+        #: ``pipeline`` trace (cache hits replay the original compile's
+        #: trace and are skipped, so these measure real pass work).
+        self.pass_latency: dict[str, LatencyStat] = {}
 
     # ------------------------------------------------------------------
 
@@ -104,6 +108,14 @@ class ServiceMetrics:
                 self.latency["queue_wait"].add(queue_wait)
             if total is not None:
                 self.latency["total"].add(total)
+            pipeline = response.get("pipeline") or {}
+            if cache != "hit":
+                for entry in pipeline.get("passes", ()):
+                    if not entry.get("enabled", True):
+                        continue
+                    stat = self.pass_latency.setdefault(
+                        entry["name"], LatencyStat())
+                    stat.add(entry.get("seconds", 0.0))
 
     def count_retry(self) -> None:
         with self._lock:
@@ -129,6 +141,8 @@ class ServiceMetrics:
                 },
                 "latency_seconds": {name: stat.snapshot()
                                     for name, stat in self.latency.items()},
+                "passes": {name: stat.snapshot()
+                           for name, stat in self.pass_latency.items()},
             }
 
     def summary(self) -> str:
@@ -153,4 +167,9 @@ class ServiceMetrics:
                     f"p95 {stat['p95'] * 1e3:8.1f}ms  "
                     f"max {stat['max'] * 1e3:8.1f}ms  "
                     f"({stat['count']} samples)")
+        for name, stat in snap["passes"].items():
+            lines.append(
+                f"pass {name:<12} p50 {stat['p50'] * 1e3:6.1f}ms  "
+                f"mean {stat['mean'] * 1e3:6.1f}ms  "
+                f"({stat['count']} compiles)")
         return "\n".join(lines)

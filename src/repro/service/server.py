@@ -7,7 +7,8 @@ same request dicts flow through either front door.
 
 Besides the job ops (:mod:`repro.service.jobs`), the server answers:
 
-* ``{"op": "stats"}``     — metrics snapshot + cache stats + pool info;
+* ``{"op": "stats"}`` (alias ``"metrics"``) — metrics snapshot
+  (including per-compiler-pass wall time) + cache stats + pool info;
 * ``{"op": "batch", "requests": [...]}`` — fan a list through the pool
   in one round trip (responses in order, under ``"results"``);
 * ``{"op": "shutdown"}``  — acknowledge, then stop the server.
@@ -75,9 +76,9 @@ class ReproServer(socketserver.ThreadingTCPServer):
             return {"ok": False, "op": None,
                     "error": {"type": "BadRequest", "message": str(exc)}}
         op = request.get("op")
-        if op == "stats":
+        if op in ("stats", "metrics"):
             return {
-                "ok": True, "op": "stats",
+                "ok": True, "op": op,
                 "metrics": self.metrics.snapshot(),
                 "cache": (self.pool.cache.stats()
                           if self.pool.cache else None),

@@ -1,0 +1,74 @@
+"""The target registry and its built-in targets.
+
+"The CM/5 NIR compiler retains the majority of its structure ... from
+the CM/2 version" (§5.3.1) — retargeting is cheap because everything
+target-specific hangs off one record.  The driver, the CLI, and the
+service all resolve targets and cost models here; adding a machine is
+one :func:`register_target` call naming its backend class and models.
+"""
+
+from __future__ import annotations
+
+from .registry import (
+    Target,
+    TargetModelMismatchError,
+    UnknownModelError,
+    UnknownTargetError,
+    build_machine,
+    get_model_factory,
+    get_target,
+    register_target,
+    resolve_model,
+    target_names,
+    targets,
+)
+
+__all__ = [
+    "Target",
+    "TargetModelMismatchError",
+    "UnknownModelError",
+    "UnknownTargetError",
+    "build_machine",
+    "get_model_factory",
+    "get_target",
+    "register_target",
+    "resolve_model",
+    "target_names",
+    "targets",
+]
+
+
+def _cm2_compiler() -> type:
+    from ..backend.cm2.partition import Cm2Compiler
+
+    return Cm2Compiler
+
+
+def _cm5_compiler() -> type:
+    from ..backend.cm5.compiler import Cm5Compiler
+
+    return Cm5Compiler
+
+
+register_target(Target(
+    name="cm2",
+    description="CM/2: 2,048 slicewise PEs over the Weitek datapath",
+    compiler_loader=_cm2_compiler,
+    # slicewise is the compiled Fortran-90-Y model; fieldwise is the
+    # bit-serial transposer environment of the hand-coded baselines and
+    # remains runnable for the §6 comparisons.
+    models=("slicewise", "fieldwise"),
+    verify_peac=True,
+    default_pes=2048,
+    paper_section="§5.1-5.2",
+))
+
+register_target(Target(
+    name="cm5",
+    description="CM/5: SPARC nodes driving four vector datapaths",
+    compiler_loader=_cm5_compiler,
+    models=("cm5",),
+    verify_peac=False,
+    default_pes=256,
+    paper_section="§5.3.1",
+))

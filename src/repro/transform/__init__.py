@@ -7,6 +7,7 @@ from .masking import MaskingReport, MaskPadder, masks_disjoint
 from .normalize import NormalizeReport, Normalizer
 from .phases import DomainKey, Phase, PhaseClassifier, PhaseKind
 from .promotion import LoopPromoter, PromotionReport
+from .passes import PASSES, default_pipeline, pipeline_identity
 from .pipeline import (
     Options,
     TransformedProgram,

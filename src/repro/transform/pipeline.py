@@ -1,9 +1,14 @@
 """The NIR optimization pipeline (the paper's target-independent phase).
 
-Runs, in order: normalization (communication/reduction extraction and
-alignment copies), mask padding (Figure 10), and domain blocking with
-fusion (Figure 9), recursively inside serial control structure.  Each
-step is individually switchable for the ablation experiments.
+The pipeline itself is declarative: :mod:`repro.transform.passes`
+registers the default pass order (promote → normalize → pad_masks →
+dse → block/fuse → recheck) and the
+:class:`~repro.pipeline.manager.PassManager` drives it — timing every
+pass, measuring IR-size deltas, running the NIR verifier between
+passes, and capturing ``--dump-after`` snapshots into the
+:class:`~repro.pipeline.trace.PipelineTrace` that
+:class:`TransformedProgram` carries.  Each pass is individually
+switchable for the ablation experiments.
 """
 
 from __future__ import annotations
@@ -11,14 +16,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .. import nir
-from ..lowering.check import check_program
 from ..lowering.environment import Environment
 from ..lowering.lower import LoweredProgram
-from .blocking import BlockingReport, fuse_phases, rebuild, schedule_phases
-from .masking import MaskingReport, MaskPadder
-from .normalize import Normalizer, NormalizeReport
-from .phases import PhaseClassifier
-from .promotion import LoopPromoter, PromotionReport
+from ..pipeline import PassManager, PipelineTrace, unwrap_body, wrap_body
+from .blocking import BlockingReport
+from .masking import MaskingReport
+from .normalize import NormalizeReport
+from .promotion import PromotionReport
+
+__all__ = [
+    "Options", "TransformReport", "TransformedProgram", "optimize",
+    "unwrap_body", "wrap_body",
+]
 
 
 @dataclass(frozen=True)
@@ -57,6 +66,7 @@ class TransformedProgram:
     env: Environment
     options: Options
     report: TransformReport
+    trace: PipelineTrace = field(default_factory=PipelineTrace)
 
     @property
     def domains(self) -> dict[str, nir.Shape]:
@@ -69,26 +79,10 @@ class TransformedProgram:
         return node
 
 
-def unwrap_body(program: nir.Program) -> nir.Imperative:
-    """Strip the PROGRAM/WITH_DOMAIN/WITH_DECL scaffolding."""
-    node: nir.Imperative = program.body
-    while isinstance(node, (nir.WithDomain, nir.WithDecl)):
-        node = node.body
-    return node
-
-
-def wrap_body(body: nir.Imperative, env: Environment,
-              name: str) -> nir.Program:
-    """Re-apply scoping: declarations innermost, domains around them."""
-    scoped: nir.Imperative = nir.WithDecl(env.nir_declarations(), body)
-    for dom_name, shape in reversed(list(env.domains.items())):
-        scoped = nir.WithDomain(dom_name, shape, scoped)
-    return nir.Program(scoped, name=name)
-
-
 def optimize(lowered: LoweredProgram,
              options: Options | None = None,
-             verify: bool | None = None) -> TransformedProgram:
+             verify: bool | None = None,
+             dump_after: tuple[str, ...] = ()) -> TransformedProgram:
     """Apply the target-independent NIR transformations.
 
     With ``verify`` on (default: the ``REPRO_VERIFY=1`` environment
@@ -96,169 +90,22 @@ def optimize(lowered: LoweredProgram,
     the blocking stage's schedule and fusion are audited against freshly
     recomputed dependences; a :class:`~repro.analysis.diagnostics.
     VerifyError` names the pass whose output first went wrong.
+
+    ``dump_after`` names passes whose output should be pretty-printed
+    into the trace's ``dumps`` (the CLI ``--dump-after`` surface); an
+    unknown name raises :class:`~repro.pipeline.registry.
+    UnknownPassError` listing the registered passes.
     """
+    from .passes import default_pipeline
+
     options = options or Options()
     if verify is None:
         from ..analysis import verify_enabled
         verify = verify_enabled()
-    env = lowered.env
     report = TransformReport()
-
-    def checked(stage: str, node: nir.Imperative) -> None:
-        if verify:
-            from ..analysis.nir_verifier import assert_valid
-            assert_valid(node, env, stage)
-
-    program = lowered.nir
-    checked("lower", program)
-    if options.promote_loops:
-        promoter = LoopPromoter(env)
-        program = promoter.promote(program)
-        report.promotion = promoter.report
-        checked("promote", program)
-
-    normalizer = Normalizer(env, comm_cse=options.comm_cse,
-                            neighborhood=options.neighborhood)
-    program = normalizer.normalize(program)
-    report.normalize = normalizer.report
-    checked("normalize", program)
-
-    body = unwrap_body(program)
-
-    if options.pad_masks:
-        padder = MaskPadder(env)
-        body = padder.pad_program(body)
-        report.masking = padder.report
-        checked("pad_masks", body)
-
-    body = _eliminate_dead_scalar_stores(
-        body, report.promotion.promoted_indices)
-    checked("dse", body)
-
-    if options.block or options.fuse:
-        body = _block_recursive(body, env, options, report.blocking,
-                                verify=verify)
-        checked("block", body)
-
-    program = wrap_body(body, env, program.name)
-    result = TransformedProgram(nir=program, env=env, options=options,
-                                report=report)
-    if options.recheck:
-        check_program(program, env)
-    return result
-
-
-def _scalar_reads(node: nir.Imperative) -> set[str]:
-    """Every scalar name the program can observe (reads, conditions, IO)."""
-    reads: set[str] = set()
-    for n in nir.imperatives.walk(node):
-        if isinstance(n, nir.Move):
-            # A move READS its mask, source, and target subscripts — the
-            # stored-to scalar itself is a write, not a read.
-            for clause in n.clauses:
-                reads |= nir.scalar_vars(clause.mask)
-                reads |= nir.scalar_vars(clause.src)
-                if isinstance(clause.tgt, nir.AVar) \
-                        and isinstance(clause.tgt.field, nir.Subscript):
-                    for idx in clause.tgt.field.indices:
-                        if not isinstance(idx, nir.IndexRange):
-                            reads |= nir.scalar_vars(idx)
-        else:
-            for value in nir.imperatives.values_of(n):
-                reads |= nir.scalar_vars(value)
-    return reads
-
-
-def _eliminate_dead_scalar_stores(node: nir.Imperative,
-                                  candidates: set[str]) -> nir.Imperative:
-    """Drop dead exit-value stores to promoted DO variables.
-
-    Loop promotion preserves each DO variable's Fortran exit value with a
-    constant scalar move; when nothing ever reads the variable again the
-    store is dead front-end work and is removed.  Only promotion-
-    generated index stores are candidates — user scalar assignments are
-    observable program state and always survive.
-    """
-    if not candidates:
-        return node
-    live = _scalar_reads(node)
-
-    def clean(n: nir.Imperative) -> nir.Imperative:
-        if isinstance(n, nir.Move):
-            kept = tuple(
-                c for c in n.clauses
-                if not (isinstance(c.tgt, nir.SVar)
-                        and c.tgt.name in candidates
-                        and c.tgt.name not in live
-                        and nir.is_constant(c.src)
-                        and c.mask == nir.TRUE))
-            if not kept:
-                return nir.Skip()
-            if len(kept) != len(n.clauses):
-                return nir.Move(kept)
-            return n
-        if isinstance(n, nir.Sequentially):
-            return nir.seq(*[clean(a) for a in n.actions])
-        if isinstance(n, nir.Do):
-            return nir.Do(n.shape, clean(n.body), n.index_names)
-        if isinstance(n, nir.While):
-            return nir.While(n.cond, clean(n.body))
-        if isinstance(n, nir.IfThenElse):
-            return nir.IfThenElse(n.cond, clean(n.then), clean(n.els))
-        return n
-
-    return clean(node)
-
-
-def _block_recursive(node: nir.Imperative, env: Environment,
-                     options: Options, report: BlockingReport,
-                     verify: bool = False) -> nir.Imperative:
-    """Apply schedule+fuse to every statement sequence, bottom-up.
-
-    Under ``verify``, each sequence's reordering is audited against
-    dependences recomputed on the pre-schedule phases, and fusion is
-    checked to be pure clause concatenation.
-    """
-    if isinstance(node, nir.Sequentially):
-        children = [_block_recursive(a, env, options, report, verify)
-                    for a in node.actions]
-        seq = nir.seq(*children)
-        if not isinstance(seq, nir.Sequentially):
-            return seq
-        classifier = PhaseClassifier(env, neighborhood=options.neighborhood)
-        phases = classifier.split(seq)
-        report.phases_in += len(phases)
-        if options.block:
-            before = list(phases)
-            phases = schedule_phases(phases, report)
-            if verify:
-                from ..analysis.dep_audit import assert_schedule
-                assert_schedule(before, phases, env, "block/schedule")
-        if options.fuse:
-            before = list(phases)
-            phases = fuse_phases(phases, report)
-            if verify:
-                from ..analysis.dep_audit import assert_fusion
-                assert_fusion(before, phases, "block/fuse")
-        else:
-            report.phases_out += len(phases)
-        return rebuild(phases)
-    if isinstance(node, nir.Do):
-        return nir.Do(
-            node.shape,
-            _block_recursive(node.body, env, options, report, verify),
-            node.index_names)
-    if isinstance(node, nir.While):
-        return nir.While(
-            node.cond,
-            _block_recursive(node.body, env, options, report, verify))
-    if isinstance(node, nir.IfThenElse):
-        return nir.IfThenElse(
-            node.cond,
-            _block_recursive(node.then, env, options, report, verify),
-            _block_recursive(node.els, env, options, report, verify))
-    if isinstance(node, nir.Concurrently):
-        return nir.Concurrently(tuple(
-            _block_recursive(a, env, options, report, verify)
-            for a in node.actions))
-    return node
+    manager = PassManager(default_pipeline(), verify=verify,
+                          dump_after=dump_after)
+    program, trace = manager.run(lowered.nir, lowered.env, options,
+                                 report, input_stage="lower")
+    return TransformedProgram(nir=program, env=lowered.env,
+                              options=options, report=report, trace=trace)

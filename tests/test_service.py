@@ -66,6 +66,41 @@ def test_cache_key_is_deterministic_and_option_sensitive():
     assert k1 != cache_key(TINY, cm5)
 
 
+def test_cache_key_includes_pipeline_identity():
+    """Reordering, disabling, or reconfiguring a pass changes the key."""
+    from repro.transform import Options, pipeline_identity
+
+    ident = pipeline_identity(Options())
+    k1 = cache_key(TINY)
+    # The default key already embeds the resolved identity.
+    assert k1 == cache_key(TINY, pipeline=ident)
+    # Reordering two passes invalidates.
+    reordered = list(ident)
+    reordered[0], reordered[1] = reordered[1], reordered[0]
+    assert cache_key(TINY, pipeline=reordered) != k1
+    # Dropping (disabling) a pass invalidates.
+    dropped = [e for e in ident if e["name"] != "pad_masks"]
+    assert cache_key(TINY, pipeline=dropped) != k1
+    # Reconfiguring a pass invalidates.
+    import copy
+
+    reconfigured = copy.deepcopy(ident)
+    for entry in reconfigured:
+        if entry["name"] == "block":
+            entry["config"]["fuse"] = False
+    assert cache_key(TINY, pipeline=reconfigured) != k1
+
+
+def test_cache_key_tracks_disabled_passes_through_options():
+    import dataclasses
+
+    from repro.transform import Options
+
+    no_pad = dataclasses.replace(
+        CompilerOptions(), transform=Options(pad_masks=False))
+    assert cache_key(TINY) != cache_key(TINY, no_pad)
+
+
 # -- hit/miss, persistence, warm plans --------------------------------------
 
 
@@ -363,6 +398,45 @@ def test_metrics_rollup_and_summary():
     assert snap["latency_seconds"]["total"]["count"] == 2
     summary = metrics.summary()
     assert "hit rate 50.0%" in summary and "p95" in summary
+
+
+def test_metrics_fold_per_pass_timings():
+    """Compile responses feed the per-pass rollup; cache hits do not
+    double-count (their trace replays the original compile)."""
+    metrics = ServiceMetrics()
+    trace = {"passes": [
+        {"name": "normalize", "enabled": True, "seconds": 0.004},
+        {"name": "block", "enabled": True, "seconds": 0.002},
+        {"name": "pad_masks", "enabled": False, "seconds": 0.0},
+    ]}
+    metrics.observe({"op": "compile", "ok": True, "cache": "miss",
+                     "pipeline": trace,
+                     "timings": {"compile_seconds": 0.01}})
+    metrics.observe({"op": "compile", "ok": True, "cache": "hit",
+                     "pipeline": trace,
+                     "timings": {"compile_seconds": 0.0001}})
+    snap = metrics.snapshot()
+    assert snap["passes"]["normalize"]["count"] == 1
+    assert snap["passes"]["block"]["count"] == 1
+    assert "pad_masks" not in snap["passes"]
+    assert "pass normalize" in metrics.summary()
+
+
+def test_server_metrics_op_reports_passes(tmp_path):
+    pool = WorkerPool(1, cache=str(tmp_path))
+    server = ReproServer(port=0, pool=pool)
+    server.start()
+    try:
+        addr = server.address
+        assert send_request(addr, {"op": "compile", "source": TINY})["ok"]
+        snap = send_request(addr, {"op": "metrics"})
+        assert snap["ok"] and snap["op"] == "metrics"
+        passes = snap["metrics"]["passes"]
+        assert passes["normalize"]["count"] == 1
+        assert passes["block"]["mean"] >= 0.0
+    finally:
+        server.stop()
+        pool.close()
 
 
 # -- server -----------------------------------------------------------------

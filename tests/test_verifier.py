@@ -257,7 +257,7 @@ class TestPeacVerifier:
 
 class TestPipelineHooks:
     def test_corrupted_dse_pass_is_named(self, monkeypatch):
-        import repro.transform.pipeline as pl
+        import repro.transform.passes as pl
 
         orig = pl._eliminate_dead_scalar_stores
 
@@ -285,7 +285,7 @@ class TestPipelineHooks:
         assert any(d.code == "V301" for d in exc.value.diagnostics)
 
     def test_corrupted_schedule_is_named(self, monkeypatch):
-        import repro.transform.pipeline as pl
+        import repro.transform.passes as pl
 
         orig = pl.schedule_phases
 
@@ -301,7 +301,7 @@ class TestPipelineHooks:
     def test_verify_off_misses_the_corruption(self, monkeypatch):
         # The same corrupted schedule sails through unverified — the
         # audit, not luck, is what catches it.
-        import repro.transform.pipeline as pl
+        import repro.transform.passes as pl
 
         orig = pl.schedule_phases
         monkeypatch.setattr(
@@ -366,7 +366,7 @@ class TestServiceVerify:
         assert r["ok"]
 
     def test_verify_failure_is_structured(self, monkeypatch):
-        import repro.transform.pipeline as pl
+        import repro.transform.passes as pl
 
         orig = pl.schedule_phases
         monkeypatch.setattr(
@@ -387,7 +387,7 @@ class TestServiceVerify:
         assert "verify failures 1" in metrics.summary()
 
     def test_unverified_compile_skips_the_suite(self, monkeypatch):
-        import repro.transform.pipeline as pl
+        import repro.transform.passes as pl
 
         orig = pl.schedule_phases
         monkeypatch.setattr(
