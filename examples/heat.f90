@@ -1,0 +1,16 @@
+
+program heat
+integer, parameter :: n = 64
+integer, parameter :: steps = 8
+double precision, array(n,n) :: t, tnew
+double precision kappa
+integer it
+kappa = 0.1d0
+forall (i=1:n, j=1:n) t(i,j) = mod(i*7 + j*3, 11) * 1.0d0
+do it = 1, steps
+   tnew = t + kappa * (cshift(t, shift=1, dim=1) + cshift(t, shift=-1, dim=1) &
+          + cshift(t, shift=1, dim=2) + cshift(t, shift=-1, dim=2) - 4.0d0 * t)
+   t = tnew
+end do
+end program heat
+

@@ -62,10 +62,13 @@ def _machine(args) -> Machine:
     model that the target cannot run under is an error, never a silent
     slicewise fallback.
     """
+    exec_mode = getattr(args, "exec_mode", None)
+    if exec_mode is None and getattr(args, "fuse_exec", False):
+        exec_mode = "fused"
     return build_machine(getattr(args, "target", "cm2"),
                          model=getattr(args, "model", None),
                          pes=getattr(args, "pes", 2048),
-                         exec_mode=getattr(args, "exec_mode", None))
+                         exec_mode=exec_mode)
 
 
 def _compile(args, source: str):
@@ -140,10 +143,14 @@ def _add_exec_args(p: argparse.ArgumentParser) -> None:
                    help="number of processing elements (power of two)")
     g.add_argument("--model", choices=model_names(), default=None,
                    help="cost model (default: the target's own model)")
-    g.add_argument("--exec", dest="exec_mode", choices=["fast", "interp"],
+    g.add_argument("--exec", dest="exec_mode",
+                   choices=["fast", "interp", "fused"],
                    default=None,
                    help="node execution engine (default: $REPRO_EXEC "
                         "or fast)")
+    g.add_argument("--fuse-exec", action="store_true",
+                   help="shorthand for --exec fused: batch adjacent node "
+                        "calls into cross-routine mega-kernels")
 
 
 # -- commands ---------------------------------------------------------------
@@ -209,6 +216,7 @@ def cmd_run(args) -> int:
             "run_seconds": run_s,
             "gflops": result.gflops(),
             "stats": result.stats.to_dict(),
+            "fusion": machine.fusion_summary(),
             "pipeline": exe.transformed.trace.to_dict(),
         }
         with open(args.stats_json, "w") as f:
@@ -223,6 +231,13 @@ def cmd_run(args) -> int:
         print(f"breakdown: node {b['node']:.1%}  call {b['call']:.1%}  "
               f"comm {b['comm']:.1%}  host {b['host']:.1%}",
               file=sys.stderr)
+        if machine.exec_mode == "fused":
+            fs = machine.fusion_summary()
+            print(f"fusion: {fs['fused_groups']} groups covering "
+                  f"{fs['fused_routines']} calls; mega-kernels "
+                  f"{fs['megakernel_builds']} built / "
+                  f"{fs['megakernel_hits']} hits / "
+                  f"{fs['stepwise_groups']} stepwise", file=sys.stderr)
         for name, cycles in sorted(result.stats.per_routine.items()):
             print(f"  {name:<12} {cycles:>12,d} node cycles",
                   file=sys.stderr)

@@ -92,7 +92,12 @@ class Executable:
                 from ..targets import build_machine
                 machine = build_machine(self.options.target,
                                         exec_mode=exec_mode)
-        executor = HostExecutor(machine)
+        fuse = False
+        if machine.exec_mode == "fused":
+            from ..targets import get_target
+            fuse = (get_target(self.options.target).fuse_exec
+                    and getattr(self.options.transform, "fuse_exec", True))
+        executor = HostExecutor(machine, fuse_exec=fuse)
         if inputs:
             # Inputs override initial contents after allocation, so run
             # the allocation prologue first by pre-allocating here.

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..peac.isa import NUM_PREGS, NUM_SREGS, PReg, Routine, SReg, VECTOR_WIDTH
 from .costs import CostModel, slicewise_model
+from .execplan import Dispatch, resolve as resolve_fused
 from .geometry import Geometry, coordinate_array, make_geometry
 from .pe import SubgridStream, VectorExecutor
 from .plan import _UNBOUND, GLOBAL_POOL, BufferPool, get_plan
@@ -69,15 +70,20 @@ class Machine:
     executes compiled routine plans (:mod:`repro.machine.plan`);
     ``"interp"`` routes through the :class:`VectorExecutor` oracle.
     Both produce bit-identical arrays and identical :class:`RunStats`.
+    ``"fused"`` additionally lets the host executor batch adjacent node
+    calls through :meth:`call_fused` (:mod:`repro.machine.execplan`):
+    arrays stay bit-identical to both other engines, and a fused batch
+    is charged as one dispatch.
     """
 
     def __init__(self, model: CostModel | None = None,
                  exec_mode: str | None = None) -> None:
         self.model = model or slicewise_model()
         mode = exec_mode or os.environ.get("REPRO_EXEC", "fast")
-        if mode not in ("fast", "interp"):
+        if mode not in ("fast", "interp", "fused"):
             raise MachineError(
-                f"unknown exec mode {mode!r} (want 'fast' or 'interp')")
+                f"unknown exec mode {mode!r} "
+                f"(want 'fast', 'interp' or 'fused')")
         self.exec_mode = mode
         self.pool: BufferPool = GLOBAL_POOL
         self.stats = RunStats()
@@ -86,6 +92,17 @@ class Machine:
         # simulated run pays for its own materialization even though
         # the host array comes from the shared process-wide cache.
         self._coords_charged: set[tuple] = set()
+        # Fused-dispatch state: per-site execution plans (persistent
+        # bindings) and mega-kernel cache telemetry.  The telemetry is
+        # machine-local and wall-clock flavored — it never feeds
+        # RunStats, which stay deterministic run to run.
+        self._exec_plans: dict = {}
+        self.fusion_metrics: dict[str, int] = {
+            "megakernel_builds": 0,
+            "megakernel_native": 0,
+            "megakernel_hits": 0,
+            "stepwise_groups": 0,
+        }
 
     # -- storage ---------------------------------------------------------
 
@@ -192,6 +209,51 @@ class Machine:
         virtual subgrid loop; ``real_elements`` (default: the region
         size) scales useful-flop accounting when padding is in play.
         """
+        d = self._prepare(routine, bindings, region_extents,
+                          real_elements, layout)
+        try:
+            self._execute_dispatch(d)
+        finally:
+            self._release(d)
+        self._account_call(d)
+
+    def call_fused(self, calls, site=None) -> None:
+        """Dispatch a batch of adjacent node calls, fused when legal.
+
+        ``calls`` is a sequence of ``call_routine`` argument tuples
+        ``(routine, bindings, region_extents, real_elements, layout)``.
+        Under ``exec_mode="fused"`` the batch is probed by the
+        :class:`~repro.machine.execplan.ExecutionPlan` layer: a legal
+        batch is charged as **one** node call (deduplicated pushes, a
+        single merged trip loop, forwarded intermediate loads) and runs
+        through a cached mega-kernel.  An illegal batch — and every
+        batch under the other engines — runs call by call with
+        unchanged accounting.  ``site`` keys the per-machine persistent
+        execution-plan cache.
+        """
+        if len(calls) == 1:
+            self.call_routine(*calls[0])
+            return
+        dispatches = [self._prepare(*c) for c in calls]
+        try:
+            plan = S = None
+            if self.exec_mode == "fused":
+                plan, S = resolve_fused(self, site, dispatches)
+            if plan is None:
+                for d in dispatches:
+                    self._execute_dispatch(d)
+                    self._account_call(d)
+            else:
+                plan.run(self, dispatches, S)
+        finally:
+            for d in dispatches:
+                self._release(d)
+
+    def _prepare(self, routine: Routine, bindings: dict[str, object],
+                 region_extents: tuple[int, ...],
+                 real_elements: int | None = None,
+                 layout: tuple[str, ...] | None = None) -> Dispatch:
+        """Resolve one call's streams, scalars and spill scratch."""
         if layout is not None and len(layout) != len(region_extents):
             layout = None  # section computes fall back to block layout
         self._verify_routine(routine)
@@ -200,6 +262,7 @@ class Machine:
         streams: list[SubgridStream | None] = [None] * NUM_PREGS
         scalars: list = [_UNBOUND] * NUM_SREGS
         pushes = 0
+        scalar_pushes = 0
         for param in routine.params:
             if param.kind == "vlen":
                 pushes += 1
@@ -220,6 +283,7 @@ class Machine:
                     raise MachineError(
                         f"{routine.name}: '{param.name}' needs a scalar reg")
                 scalars[param.reg.n] = value
+                scalar_pushes += 1
             pushes += 1
 
         # Spill scratch: per-call PE memory, bound from the top pointer
@@ -228,44 +292,63 @@ class Machine:
         # through float64) and is drawn zeroed from the buffer pool
         # instead of being reallocated on every dispatch.
         spill_bufs: list[np.ndarray] = []
+        spill_pregs: list[int] = []
         spill_dtype = np.dtype(getattr(routine, "dtype", "float64"))
         for slot in range(routine.spill_slots):
             scratch = self.pool.acquire((math.prod(region_extents),),
                                         spill_dtype)
             scratch.fill(0)
             spill_bufs.append(scratch)
-            streams[NUM_PREGS - 1 - slot] = SubgridStream(
-                scratch, name=f"spill{slot}")
-
-        try:
-            if self.exec_mode == "fast":
-                plan.execute(streams, scalars, self.pool)
-            else:
-                executor = VectorExecutor()
-                for n, stream in enumerate(streams):
-                    if stream is not None:
-                        executor.bind_pointer(PReg(n), stream)
-                for n, value in enumerate(scalars):
-                    if value is not _UNBOUND:
-                        executor.bind_scalar(SReg(n), value)
-                executor.run(routine)
-        finally:
-            for scratch in spill_bufs:
-                self.pool.release(scratch)
+            preg = NUM_PREGS - 1 - slot
+            spill_pregs.append(preg)
+            streams[preg] = SubgridStream(scratch, name=f"spill{slot}")
 
         trips = math.ceil(geom.vlen / VECTOR_WIDTH)
-        node = trips * plan.cycles_per_trip(self.model)
         elements = (geom.total_elements if real_elements is None
                     else real_elements)
+        return Dispatch(routine, plan, streams, scalars, pushes,
+                        scalar_pushes, spill_bufs, tuple(spill_pregs),
+                        trips, elements)
+
+    def _execute_dispatch(self, d: Dispatch) -> None:
+        if self.exec_mode == "interp":
+            executor = VectorExecutor()
+            for n, stream in enumerate(d.streams):
+                if stream is not None:
+                    executor.bind_pointer(PReg(n), stream)
+            for n, value in enumerate(d.scalars):
+                if value is not _UNBOUND:
+                    executor.bind_scalar(SReg(n), value)
+            executor.run(d.routine)
+        else:
+            d.plan.execute(d.streams, d.scalars, self.pool)
+
+    def _release(self, d: Dispatch) -> None:
+        for scratch in d.spill_bufs:
+            self.pool.release(scratch)
+
+    def _account_call(self, d: Dispatch) -> None:
+        node = d.trips * d.plan.cycles_per_trip(self.model)
         self.stats.node_cycles += node
         self.stats.call_cycles += (self.model.call_dispatch
-                                   + pushes * self.model.ififo_push)
+                                   + d.pushes * self.model.ififo_push)
         self.stats.node_calls += 1
-        self.stats.ififo_pushes += pushes
-        self.stats.flops += plan.flops_per_element * elements
-        self.stats.elements_computed += elements
-        self.stats.per_routine[routine.name] = (
-            self.stats.per_routine.get(routine.name, 0) + node)
+        self.stats.ififo_pushes += d.pushes
+        self.stats.flops += d.plan.flops_per_element * d.elements
+        self.stats.elements_computed += d.elements
+        self.stats.per_routine[d.routine.name] = (
+            self.stats.per_routine.get(d.routine.name, 0) + node)
+
+    def fusion_summary(self) -> dict:
+        """Fusion counters for ``--stats-json`` and service responses."""
+        return {
+            "fused_groups": self.stats.fused_groups,
+            "fused_routines": self.stats.fused_routines,
+            "megakernel_builds": self.fusion_metrics["megakernel_builds"],
+            "megakernel_native": self.fusion_metrics["megakernel_native"],
+            "megakernel_hits": self.fusion_metrics["megakernel_hits"],
+            "stepwise_groups": self.fusion_metrics["stepwise_groups"],
+        }
 
     # -- accounting helpers -------------------------------------------------
 

@@ -218,7 +218,11 @@ class _Builder:
     # -- symbolic walk --------------------------------------------------
 
     def build(self):
-        vmap: list[_Val | None] = [None] * 8
+        # A fused merged plan renames each constituent's vector registers
+        # into its own bank (see machine/execplan.py), so the register
+        # file is plan-sized rather than the architectural 8.
+        vmap: list[_Val | None] = [None] * getattr(self.plan,
+                                                   "num_vregs", 8)
         for g, steps in enumerate(self.plan.groups):
             slot: list = []
             self.slots.append(slot)

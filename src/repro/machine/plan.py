@@ -424,6 +424,12 @@ _FMA_FNS = {
 # ---------------------------------------------------------------------------
 
 
+#: Monotonic plan identities.  Mega-kernel caches key on these rather
+#: than ``id(plan)`` so a recycled object address can never resurrect a
+#: stale fused compilation.
+_SERIALS = iter(range(1, 1 << 62)).__next__
+
+
 class RoutinePlan:
     """One routine, compiled once into directly executable steps."""
 
@@ -431,6 +437,7 @@ class RoutinePlan:
 
     def __init__(self, routine: Routine) -> None:
         self.name = routine.name
+        self.serial = _SERIALS()
         self.body_id = id(routine.body)
         self.body_len = len(routine.body)
         self._instrs = tuple(routine.body)
@@ -479,6 +486,7 @@ class RoutinePlan:
 
         used: set[int] = set()
         stored: set[int] = set()
+        reads: set[int] = set()
         for steps in self.groups:
             for step in steps:
                 if isinstance(step, _StoreStep):
@@ -494,8 +502,10 @@ class RoutinePlan:
                 for rd in readers:
                     if rd[0] == _R_MEM:
                         used.add(rd[1])
+                        reads.add(rd[1])
         self.used_pregs = tuple(sorted(used))
         self.stored_pregs = tuple(sorted(stored))
+        self.read_pregs = tuple(sorted(reads))
 
     def _new_token(self) -> int:
         self._tokens += 1
@@ -710,6 +720,15 @@ def get_plan(routine: Routine) -> RoutinePlan:
 
 
 def invalidate_plan(routine: Routine) -> None:
-    """Drop a routine's cached plan (after mutating its body in place)."""
-    if hasattr(routine, "_plan"):
+    """Drop a routine's cached plan (after mutating its body in place).
+
+    Also evicts every mega-kernel and fused execution plan built over
+    the stale plan: a fused group compiled against the old instruction
+    stream must never run again after the routine changed.
+    """
+    plan = getattr(routine, "_plan", None)
+    if plan is not None:
+        from .execplan import evict_serial
+
+        evict_serial(plan.serial)
         del routine._plan

@@ -24,6 +24,8 @@ class RunStats:
     comm_ops: int = 0
     reductions: int = 0
     elements_computed: int = 0
+    fused_groups: int = 0       # cross-routine fused dispatches
+    fused_routines: int = 0     # constituent routines inside fused groups
     per_routine: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -51,6 +53,8 @@ class RunStats:
         self.comm_ops += other.comm_ops
         self.reductions += other.reductions
         self.elements_computed += other.elements_computed
+        self.fused_groups += other.fused_groups
+        self.fused_routines += other.fused_routines
         for name, cycles in other.per_routine.items():
             self.per_routine[name] = self.per_routine.get(name, 0) + cycles
 
@@ -68,6 +72,8 @@ class RunStats:
             "comm_ops": self.comm_ops,
             "reductions": self.reductions,
             "elements_computed": self.elements_computed,
+            "fused_groups": self.fused_groups,
+            "fused_routines": self.fused_routines,
             "per_routine": dict(self.per_routine),
         }
 

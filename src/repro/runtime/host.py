@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import nir
+from ..machine.plan import get_plan
 from ..peac.isa import Routine
 from . import cmrt
 from .nir_eval import NirEvaluator
@@ -143,16 +144,78 @@ class StopExecution(Exception):
     """Internal signal for the STOP statement."""
 
 
-class HostExecutor:
-    """Interprets a host program against a simulated machine."""
+def _value_arrays(value: nir.Value) -> frozenset[str]:
+    """Array names a host-evaluated NIR value reads."""
+    return frozenset(n.name for n in nir.values.walk(value)
+                     if isinstance(n, nir.AVar))
 
-    def __init__(self, machine) -> None:
+
+def _clause_reads(clause: nir.MoveClause) -> frozenset[str]:
+    reads = _value_arrays(clause.src) | _value_arrays(clause.mask)
+    tgt = clause.tgt
+    if isinstance(tgt, nir.AVar) and isinstance(tgt.field, nir.Subscript):
+        for idx in tgt.field.indices:
+            if isinstance(idx, nir.IndexRange):
+                for part in (idx.lo, idx.hi, idx.stride):
+                    if part is not None:
+                        reads |= _value_arrays(part)
+            else:
+                reads |= _value_arrays(idx)
+    return reads
+
+
+def _op_effects(op: HostOp) -> tuple[frozenset[str], frozenset[str]]:
+    """Name-level (array reads, array writes) of a non-call host op."""
+    if isinstance(op, CommMove):
+        return _clause_reads(op.clause), frozenset({op.clause.tgt.name})
+    if isinstance(op, ReduceMove):
+        tgt = op.clause.tgt
+        writes = (frozenset({tgt.name}) if isinstance(tgt, nir.AVar)
+                  else frozenset())
+        return _clause_reads(op.clause), writes
+    if isinstance(op, ElementMove):
+        tgt = frozenset({op.clause.tgt.name})
+        return _clause_reads(op.clause) | tgt, tgt
+    if isinstance(op, ScalarMove):
+        return _clause_reads(op.clause), frozenset()
+    if isinstance(op, Print):
+        reads: frozenset[str] = frozenset()
+        for value in op.values:
+            reads |= _value_arrays(value)
+        return reads, frozenset()
+    if isinstance(op, Alloc):
+        return frozenset(), frozenset({op.name})
+    return frozenset(), frozenset()
+
+
+class HostExecutor:
+    """Interprets a host program against a simulated machine.
+
+    With ``fuse_exec`` (and a machine in ``"fused"`` mode) adjacent node
+    calls accumulate into a pending batch handed to
+    :meth:`~repro.machine.cm2.Machine.call_fused` as one dispatch.  Node
+    calls always append — the batch preserves their order — while other
+    runtime work is *hoisted* ahead of the batch when its name-level
+    array footprint is independent of every pending call; dependent work
+    (a CSHIFT reading an array the batch writes, a reduction, serial
+    element access) flushes the batch first.  Argument resolution is
+    persistent: each call site's subgrid and coordinate views are cached
+    and revalidated by array identity instead of re-resolved per trip.
+    """
+
+    def __init__(self, machine, fuse_exec: bool = False) -> None:
         self.machine = machine
         self.scalars: dict[str, object] = {}
         self.output: list[str] = []
         self.evaluator = NirEvaluator(
             read_array=lambda name: self.machine.home(name).data,
             scalars=self.scalars)
+        self.fuse_exec = bool(fuse_exec) and machine.exec_mode == "fused"
+        self._pending: list[tuple[HostOp, tuple]] = []
+        self._pending_reads: set[str] = set()
+        self._pending_writes: set[str] = set()
+        self._call_infos: dict[int, tuple] = {}
+        self._binding_cache: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
 
@@ -161,6 +224,7 @@ class HostExecutor:
             self._run_ops(program.ops)
         except StopExecution:
             pass
+        self._flush()
 
     def _run_ops(self, ops) -> None:
         for op in ops:
@@ -169,6 +233,147 @@ class HostExecutor:
     # ------------------------------------------------------------------
 
     def _run_op(self, op: HostOp) -> None:
+        if not self.fuse_exec:
+            return self._exec_op(op)
+        if isinstance(op, NodeCall):
+            return self._enqueue_call(op)
+        if isinstance(op, Loop):
+            return self._exec_op(op)  # bodies recurse through _run_op
+        if isinstance(op, IfOp):
+            self._barrier(_value_arrays(op.cond), frozenset())
+            return self._exec_op(op)
+        if isinstance(op, WhileOp):
+            arrays = _value_arrays(op.cond)
+            if not arrays:
+                return self._exec_op(op)
+            # An array-reading condition must observe the pending batch
+            # before every evaluation, so run the loop here.
+            m = self.machine
+            while True:
+                self._barrier(arrays, frozenset())
+                if not bool(self.evaluator.eval_scalar(op.cond)):
+                    break
+                m.charge_host(m.model.host_op)
+                self._run_ops(op.body)
+            m.charge_host(m.model.host_op)
+            return
+        reads, writes = _op_effects(op)
+        self._barrier(reads, writes)
+        return self._exec_op(op)
+
+    def _barrier(self, reads: frozenset[str],
+                 writes: frozenset[str]) -> None:
+        """Flush the batch if the op's footprint intersects it."""
+        if not self._pending:
+            return
+        if (reads & self._pending_writes
+                or writes & self._pending_writes
+                or writes & self._pending_reads):
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        pending = self._pending
+        self._pending = []
+        self._pending_reads = set()
+        self._pending_writes = set()
+        if len(pending) == 1:
+            self.machine.call_routine(*pending[0][1])
+        else:
+            site = tuple(id(op) for op, _ in pending)
+            self.machine.call_fused([call for _, call in pending],
+                                    site=site)
+
+    def _call_info(self, op: NodeCall) -> tuple:
+        """(plan, reads, writes, enqueue-time reads) for a call site."""
+        info = self._call_infos.get(id(op))
+        plan = get_plan(op.routine)
+        if info is not None and info[0] is plan:
+            return info
+        regs = {param.name: param.reg for param in op.routine.params}
+        read_pregs = set(getattr(plan, "read_pregs", plan.used_pregs))
+        stored = set(plan.stored_pregs)
+        reads: set[str] = set()
+        writes: set[str] = set()
+        prefetch: set[str] = set()
+        for arg in op.args:
+            if arg.kind == "subgrid":
+                reg = regs.get(arg.name)
+                if reg is None:
+                    continue
+                if reg.n in read_pregs:
+                    reads.add(arg.array)
+                if reg.n in stored:
+                    writes.add(arg.array)
+            elif arg.kind == "halo":
+                # The halo snapshot is taken when the call is enqueued.
+                reads.add(arg.array)
+                prefetch.add(arg.array)
+            elif arg.kind == "scalar" and arg.value is not None:
+                prefetch |= _value_arrays(arg.value)
+        info = (plan, frozenset(reads), frozenset(writes),
+                frozenset(prefetch))
+        self._call_infos[id(op)] = info
+        return info
+
+    def _enqueue_call(self, op: NodeCall) -> None:
+        _plan, reads, writes, prefetch = self._call_info(op)
+        if prefetch and (prefetch & self._pending_writes):
+            self._flush()
+        bindings = self._bindings(op)
+        call = (op.routine, bindings, op.region_extents,
+                op.real_elements, op.layout)
+        self._pending.append((op, call))
+        self._pending_reads |= reads
+        self._pending_writes |= writes
+
+    def _bindings(self, op: NodeCall) -> dict[str, object]:
+        """Resolved argument bindings, with persistent subgrid views.
+
+        Subgrid and coordinate views depend only on the array object,
+        so they are cached per call site and revalidated by identity;
+        halo snapshots and scalar values are taken fresh every call.
+        """
+        cached = self._binding_cache.get(id(op))
+        if cached is not None:
+            static, checks = cached
+            for name, home, data in checks:
+                if (self.machine.arrays.get(name) is not home
+                        or home.data is not data):
+                    cached = None
+                    break
+        if cached is None:
+            static = {}
+            checks = []
+            seen: set[str] = set()
+            for arg in op.args:
+                if arg.kind == "subgrid":
+                    static[arg.name] = self.machine.view(arg.array,
+                                                         arg.region)
+                    if arg.array not in seen:
+                        seen.add(arg.array)
+                        home = self.machine.home(arg.array)
+                        checks.append((arg.array, home, home.data))
+                elif arg.kind == "coord":
+                    static[arg.name] = self.machine.coord_subgrid(
+                        arg.extents, arg.axis, arg.region, arg.lo,
+                        arg.step)
+            self._binding_cache[id(op)] = (static, tuple(checks))
+        else:
+            static = cached[0]
+        bindings: dict[str, object] = dict(static)
+        for arg in op.args:
+            if arg.kind == "halo":
+                bindings[arg.name] = self.machine.halo_subgrid(
+                    arg.array, arg.shift, arg.axis)
+            elif arg.kind == "scalar":
+                bindings[arg.name] = self.evaluator.eval_scalar(arg.value)
+        return bindings
+
+    # ------------------------------------------------------------------
+
+    def _exec_op(self, op: HostOp) -> None:
         m = self.machine
         if isinstance(op, Alloc):
             # Pre-allocated inputs (Executable.run's overrides) survive.

@@ -51,7 +51,7 @@ import tempfile
 #: so releases never read each other's artifacts.
 #: 2: keys carry the resolved pass-pipeline identity; executables carry
 #:    a PipelineTrace.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _DEFAULT_MAX_BYTES = 512 * 1024 * 1024
 

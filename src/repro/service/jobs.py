@@ -217,6 +217,7 @@ def _dispatch(request: dict, cache: CompileCache | None) -> dict:
             "run_seconds": run_s,
             "gflops": result.gflops(),
             "stats": result.stats.to_dict(),
+            "fusion": machine.fusion_summary(),
             "output": list(result.output),
         }
     if op == "compare":

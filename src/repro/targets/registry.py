@@ -68,6 +68,11 @@ class Target:
     verify_peac: bool = False
     default_pes: int = 2048
     paper_section: str = ""
+    #: Allow the run-time execution-plan fusion layer (``"fused"`` exec
+    #: mode batches node calls into cross-routine mega-kernels).  A
+    #: target whose dispatch semantics cannot tolerate merged IFIFO
+    #: pushes can opt out here.
+    fuse_exec: bool = True
 
     @property
     def default_model(self) -> str:

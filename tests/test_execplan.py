@@ -1,0 +1,291 @@
+"""Cross-routine execution-plan fusion: equivalence, caching, eviction.
+
+The fused engine (``exec_mode="fused"``) must be observationally
+identical to the fast engine and the interpreter oracle: bit-identical
+arrays for every program, identical invariant counters (flops, elements,
+comm, reductions, dispatch counts), and a total cycle count that is
+never *higher* than fast — fusion only removes modeled dispatch and
+argument-push work.  These tests pin that contract with hypothesis
+programs across both targets, mixed-shape fusability edges, mega-kernel
+cache reuse and eviction on plan invalidation, the native-C/Python
+kernel agreement, and every fusion kill switch (transform option,
+target flag, executor argument).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.driver.compiler import CompilerOptions, compile_source
+from repro.machine import get_plan, invalidate_plan
+from repro.machine import execplan
+from repro.machine.ckernel import _compiler
+from repro.programs.kernels import heat_source
+from repro.programs.swe import swe_source
+from repro.targets import build_machine
+from repro.transform import Options as TransformOptions
+
+ENGINES = ("interp", "fast", "fused")
+
+#: Counters fusion must not change: it elides dispatch/push/loop
+#: cycles (so ``node_calls``/``call_cycles`` legitimately shrink) but
+#: never the useful work, the traffic, or the host's share.
+INVARIANTS = ("flops", "elements_computed", "comm_ops",
+              "comm_cycles", "reductions", "host_cycles")
+
+# Alternating same-flat-size (a: 4x4 = b: 16) and odd-size (c: 9)
+# statements: adjacent a/b calls fuse across ranks, c breaks trips.
+MIXED_SHAPES = """\
+double precision a(4, 4), b(16), c(9)
+forall (i=1:4, j=1:4) a(i, j) = i * 2.0d0 + j
+forall (i=1:16) b(i) = i * 0.5d0
+forall (i=1:9) c(i) = i * 0.25d0
+a = a * 2.0d0 + 1.0d0
+b = b * 3.0d0 - 2.0d0
+c = c * c
+a = a - 1.5d0
+b = b + 0.5d0
+end
+"""
+
+
+def run_engines(exe, target="cm2"):
+    """{engine: (RunResult, Machine)} for one executable."""
+    out = {}
+    for mode in ENGINES:
+        machine = build_machine(target, exec_mode=mode)
+        out[mode] = (exe.run(machine=machine), machine)
+    return out
+
+
+def assert_contract(out):
+    """The three-engine contract over one program's results."""
+    ref = out["interp"][0]
+    for mode in ("fast", "fused"):
+        res = out[mode][0]
+        for name in ref.arrays:
+            assert ref.arrays[name].dtype == res.arrays[name].dtype
+            assert (ref.arrays[name].tobytes()
+                    == res.arrays[name].tobytes()), (mode, name)
+    # Fast is cycle-exact against the oracle; fused only sheds modeled
+    # dispatch work, so the invariant counters stay equal and the total
+    # never rises.
+    assert ref.stats.to_dict() == out["fast"][0].stats.to_dict()
+    sf, su = out["fast"][0].stats, out["fused"][0].stats
+    for field in INVARIANTS:
+        assert getattr(su, field) == getattr(sf, field), field
+    assert su.total_cycles <= sf.total_cycles
+
+
+# ---------------------------------------------------------------------------
+# Random programs, both targets
+# ---------------------------------------------------------------------------
+
+_ARRAYS = ["a", "b", "c"]
+
+
+@st.composite
+def real_exprs(draw, depth=0):
+    if depth > 2 or draw(st.booleans()):
+        leaf = draw(st.sampled_from(_ARRAYS + ["lit"]))
+        if leaf == "lit":
+            # Dyadic literals: exact in binary, so engine comparisons
+            # are bit-for-bit meaningful.
+            return draw(st.sampled_from(
+                ["0.5d0", "2.0d0", "0.25d0", "1.5d0", "3.0d0"]))
+        return leaf
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(real_exprs(depth=depth + 1))
+    right = draw(real_exprs(depth=depth + 1))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def real_programs(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    lines = [f"double precision a({n}), b({n}), c({n})",
+             f"forall (i=1:{n}) a(i) = i * 0.5d0",
+             f"forall (i=1:{n}) b(i) = ({n} - i) * 0.25d0",
+             f"forall (i=1:{n}) c(i) = i * i * 0.125d0"]
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        tgt = draw(st.sampled_from(_ARRAYS))
+        if draw(st.integers(min_value=0, max_value=3)) == 0:
+            src = draw(st.sampled_from(_ARRAYS))
+            shift = draw(st.integers(min_value=-2, max_value=2))
+            lines.append(f"{tgt} = cshift({src}, {shift}, 1)")
+        else:
+            lines.append(f"{tgt} = {draw(real_exprs())}")
+    lines.append("end")
+    return "\n".join(lines)
+
+
+@settings(max_examples=15, deadline=None)
+@given(real_programs(), st.sampled_from(["cm2", "cm5"]))
+def test_fused_matches_oracle_on_random_programs(source, target):
+    exe = compile_source(source, CompilerOptions(target=target))
+    assert_contract(run_engines(exe, target))
+
+
+def test_fused_contract_on_swe():
+    exe = compile_source(swe_source(n=16, itmax=3))
+    out = run_engines(exe)
+    assert_contract(out)
+    # SWE's comm-separated phases are the motivating fusion shape: the
+    # engine must actually fuse here, not just stay correct.
+    summary = out["fused"][1].fusion_summary()
+    assert summary["fused_groups"] > 0
+    assert summary["fused_routines"] > summary["fused_groups"]
+    assert out["fused"][0].stats.fused_groups == summary["fused_groups"]
+
+
+def test_fused_contract_on_heat_timestep_loop():
+    exe = compile_source(heat_source(8, 3))
+    assert_contract(run_engines(exe))
+
+
+def test_fused_contract_on_mixed_shapes():
+    exe = compile_source(MIXED_SHAPES)
+    assert_contract(run_engines(exe))
+
+
+def test_fused_runs_are_deterministic():
+    exe = compile_source(swe_source(n=16, itmax=2))
+    runs = []
+    for _ in range(2):
+        machine = build_machine("cm2", exec_mode="fused")
+        runs.append(exe.run(machine=machine))
+    assert runs[0].stats.to_dict() == runs[1].stats.to_dict()
+    for name in runs[0].arrays:
+        assert (runs[0].arrays[name].tobytes()
+                == runs[1].arrays[name].tobytes())
+
+
+# ---------------------------------------------------------------------------
+# Mega-kernel cache: reuse, invalidation, native/Python agreement
+# ---------------------------------------------------------------------------
+
+
+def test_megakernels_are_reused_across_machines():
+    exe = compile_source(swe_source(n=16, itmax=2))
+    # Warm runs: the first records binding specs (stepwise), the
+    # second compiles the mega-kernels from them.
+    built = 0
+    for _ in range(2):
+        machine = build_machine("cm2", exec_mode="fused")
+        exe.run(machine=machine)
+        built += machine.fusion_metrics["megakernel_builds"]
+    assert built > 0
+    third = build_machine("cm2", exec_mode="fused")
+    exe.run(machine=third)
+    # Plans (and their serials) live on the executable, so a fresh
+    # machine hits the process-wide mega-kernel cache without building.
+    assert third.fusion_metrics["megakernel_builds"] == 0
+    assert third.fusion_metrics["megakernel_hits"] > 0
+
+
+def _mutate_one_add(exe):
+    """Flip one faddv to fsubv in place, in a routine that has a
+    compiled mega-kernel over its current plan; returns (routine, old
+    plan)."""
+    kernel_serials = {s for key in execplan._MEGA_KERNELS
+                      for s in key[0]}
+    for routine in exe.routines.values():
+        if get_plan(routine).serial not in kernel_serials:
+            continue
+        for i, instr in enumerate(routine.body):
+            if instr.op == "faddv":
+                plan = get_plan(routine)
+                routine.body[i] = dataclasses.replace(instr, op="fsubv")
+                return routine, plan
+    raise AssertionError("no mega-kernel routine with an faddv")
+
+
+def test_invalidate_plan_evicts_dependent_megakernels():
+    exe = compile_source(swe_source(n=16, itmax=2))
+    built = 0
+    for _ in range(2):  # record specs, then compile the mega-kernels
+        machine = build_machine("cm2", exec_mode="fused")
+        exe.run(machine=machine)
+        built += machine.fusion_metrics["megakernel_builds"]
+    assert built > 0
+
+    routine, stale = _mutate_one_add(exe)
+    assert any(stale.serial in key[0] for key in execplan._MEGA_KERNELS)
+    invalidate_plan(routine)
+    # Every kernel compiled over the stale plan is gone; kernels of
+    # unrelated plans survive.
+    assert not any(stale.serial in key[0]
+                   for key in execplan._MEGA_KERNELS)
+
+    # A stale fused result must be impossible: after the in-place edit
+    # the fused engine agrees with the oracle re-walking the new body.
+    fused = exe.run(machine=build_machine("cm2", exec_mode="fused"))
+    oracle = exe.run(machine=build_machine("cm2", exec_mode="interp"))
+    for name in oracle.arrays:
+        assert (oracle.arrays[name].tobytes()
+                == fused.arrays[name].tobytes()), name
+
+
+@pytest.mark.skipif(_compiler() is None, reason="no C compiler")
+def test_native_and_python_megakernels_agree(monkeypatch):
+    exe = compile_source(swe_source(n=16, itmax=2))
+    native_m = build_machine("cm2", exec_mode="fused")
+    native = exe.run(machine=native_m)
+    assert native_m.fusion_metrics["megakernel_native"] > 0
+
+    execplan._MEGA_KERNELS.clear()
+    monkeypatch.setenv("REPRO_FUSED_CC", "0")
+    python_m = build_machine("cm2", exec_mode="fused")
+    plain = exe.run(machine=python_m)
+    assert python_m.fusion_metrics["megakernel_builds"] > 0
+    assert python_m.fusion_metrics["megakernel_native"] == 0
+
+    for name in native.arrays:
+        assert (native.arrays[name].tobytes()
+                == plain.arrays[name].tobytes()), name
+    assert native.stats.to_dict() == plain.stats.to_dict()
+    execplan._MEGA_KERNELS.clear()  # rebuild native for later tests
+
+
+# ---------------------------------------------------------------------------
+# Kill switches
+# ---------------------------------------------------------------------------
+
+
+def _fused_summary(exe):
+    machine = build_machine("cm2", exec_mode="fused")
+    result = exe.run(machine=machine)
+    return result, machine.fusion_summary()
+
+
+def test_transform_option_disables_fusion():
+    source = swe_source(n=16, itmax=2)
+    options = CompilerOptions(
+        transform=TransformOptions(fuse_exec=False))
+    result, summary = _fused_summary(compile_source(source, options))
+    assert summary["fused_groups"] == 0
+    baseline = compile_source(source).run(
+        machine=build_machine("cm2", exec_mode="fast"))
+    for name in baseline.arrays:
+        assert (baseline.arrays[name].tobytes()
+                == result.arrays[name].tobytes()), name
+
+
+def test_target_flag_disables_fusion(monkeypatch):
+    from repro.targets import registry
+
+    off = dataclasses.replace(registry.get_target("cm2"),
+                              fuse_exec=False)
+    monkeypatch.setitem(registry._TARGETS, "cm2", off)
+    _, summary = _fused_summary(compile_source(swe_source(n=16, itmax=2)))
+    assert summary["fused_groups"] == 0
+
+
+def test_naive_options_disable_fusion():
+    exe = compile_source(swe_source(n=16, itmax=2),
+                         CompilerOptions.naive())
+    _, summary = _fused_summary(exe)
+    assert summary["fused_groups"] == 0

@@ -67,7 +67,7 @@ end
 class TestRegistry:
     def test_default_order_is_the_paper_pipeline(self):
         assert PASSES.names() == ["promote", "normalize", "pad_masks",
-                                  "dse", "block", "recheck"]
+                                  "dse", "block", "fuse_exec", "recheck"]
 
     def test_unknown_pass_is_loud(self):
         with pytest.raises(UnknownPassError) as exc:
@@ -89,7 +89,8 @@ class TestRegistry:
     def test_identity_orders_and_configures(self):
         ident = pipeline_identity(Options())
         assert [e["name"] for e in ident] == [
-            "promote", "normalize", "pad_masks", "dse", "block", "recheck"]
+            "promote", "normalize", "pad_masks", "dse", "block",
+            "fuse_exec", "recheck"]
         block = dict(ident[4]["config"])
         assert block == {"block": True, "fuse": True, "neighborhood": False}
 
@@ -106,20 +107,22 @@ class TestGoldenPassOrders:
     def test_default_pipeline_executes_all_passes(self):
         tp = optimize(lower(PROGRAM), Options())
         assert tp.trace.executed() == [
-            "promote", "normalize", "pad_masks", "dse", "block", "recheck"]
+            "promote", "normalize", "pad_masks", "dse", "block",
+            "fuse_exec", "recheck"]
 
     def test_naive_pipeline_skips_blocking_and_padding(self):
         tp = optimize(lower(PROGRAM), Options.naive())
         assert tp.trace.executed() == [
             "promote", "normalize", "dse", "recheck"]
         disabled = [t.name for t in tp.trace.passes if not t.enabled]
-        assert disabled == ["pad_masks", "block"]
+        assert disabled == ["pad_masks", "block", "fuse_exec"]
 
     def test_ablation_pipeline_no_promotion_no_fuse(self):
         tp = optimize(lower(PROGRAM),
                       Options(promote_loops=False, fuse=False))
         assert tp.trace.executed() == [
-            "normalize", "pad_masks", "dse", "block", "recheck"]
+            "normalize", "pad_masks", "dse", "block", "fuse_exec",
+            "recheck"]
 
     def test_fuse_only_still_runs_block_pass(self):
         tp = optimize(lower(PROGRAM), Options(block=False))

@@ -161,7 +161,7 @@ class TestServiceResolution:
         assert response["ok"]
         names = [p["name"] for p in response["pipeline"]["passes"]]
         assert names == ["promote", "normalize", "pad_masks", "dse",
-                         "block", "recheck"]
+                         "block", "fuse_exec", "recheck"]
 
 
 # -- CLI wiring -------------------------------------------------------------
