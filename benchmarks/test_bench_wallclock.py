@@ -13,17 +13,31 @@ per-call fast path rather than cross-call batching.
 Results land in ``BENCH_wallclock.json`` at the repo root: each engine
 holds per-run seconds plus min/median.  Every run in a round is timed
 after ``REPRO_WALLCLOCK_WARMUP`` untimed warm-up runs, and all
-headline ratios are **min over min** — the minimum is the stable
-statistic for a deterministic workload under scheduler noise (medians
-are reported alongside for context).  The run also re-checks the
-engines' contract: bit-identical arrays across all three engines.
+headline ratios are **median over median** — on shared/burstable VMs
+the machine speed drifts in *both* directions (scheduler slowdowns
+and CPU-frequency bursts), and the median is the statistic robust to
+both; a burst landing in one engine's batch poisons min-based ratios.
+Min-over-min ratios are recorded alongside (``*_min`` keys) for
+context.  The run also re-checks the engines' contract: bit-identical
+arrays across all engines and the host target.
+
+A fourth column times the **host target** (the same source compiled
+with ``target="host"``, run on its own :class:`HostMachine`): the CM
+engines above simulate a machine while executing natively; the host
+target drops the simulation fidelity constraints and retunes its
+native kernels for the CPU actually running (``-march=native``), so it
+is the floor for how fast this workload goes through the shared
+pipeline.  Its output must stay bit-identical to the interp oracle.
 
 Knobs: ``REPRO_SWE_N`` (grid, default 512), ``REPRO_WALLCLOCK_STEPS``
 (time steps, default 8), ``REPRO_WALLCLOCK_ROUNDS`` (timed runs per
 engine, default 5), ``REPRO_WALLCLOCK_WARMUP`` (untimed warm-up runs
 per engine, default 3), ``REPRO_WALLCLOCK_MIN_SPEEDUP`` (fast-vs-
 interp floor, default 2.5), ``REPRO_WALLCLOCK_MIN_FUSED`` (fused-vs-
-fast floor, default 1.3).
+fast floor, default 1.3), ``REPRO_WALLCLOCK_MIN_HOST`` (host-vs-fused
+floor, default 0.95 — the margin is real but single-digit percent, so
+the CI gate is relaxed below 1.0 against scheduler noise; the
+committed BENCH_wallclock.json records host ahead of fused).
 """
 
 from __future__ import annotations
@@ -33,10 +47,11 @@ import os
 import statistics
 import time
 
-from repro.driver.compiler import compile_source
+from repro.driver.compiler import CompilerOptions, compile_source
 from repro.machine import Machine, slicewise_model
-from repro.programs.kernels import heat_source
+from repro.programs.kernels import heat_source, life_source
 from repro.programs.swe import swe_source
+from repro.targets import build_machine
 
 from .conftest import SWE_N
 
@@ -45,25 +60,30 @@ ROUNDS = int(os.environ.get("REPRO_WALLCLOCK_ROUNDS", "5"))
 WARMUP = int(os.environ.get("REPRO_WALLCLOCK_WARMUP", "3"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_WALLCLOCK_MIN_SPEEDUP", "2.5"))
 MIN_FUSED = float(os.environ.get("REPRO_WALLCLOCK_MIN_FUSED", "1.3"))
+MIN_HOST = float(os.environ.get("REPRO_WALLCLOCK_MIN_HOST", "0.95"))
 
 ENGINES = ("interp", "fast", "fused")
+COLUMNS = ENGINES + ("host",)
 
 _OUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_wallclock.json")
 
 
-def _run(exe, mode):
-    machine = Machine(slicewise_model(), exec_mode=mode)
+def _run(exe, mode, host_exe=None):
+    if mode == "host":
+        exe, machine = host_exe, build_machine("host")
+    else:
+        machine = Machine(slicewise_model(), exec_mode=mode)
     t0 = time.perf_counter()
     result = exe.run(machine=machine)
     return time.perf_counter() - t0, result
 
 
-def _check_contract(exe):
+def _check_contract(exe, host_exe):
     """All engines must produce bit-identical arrays (warm-up doubles
     as the correctness gate); returns the reference results."""
-    results = {mode: _run(exe, mode)[1] for mode in ENGINES}
+    results = {mode: _run(exe, mode, host_exe)[1] for mode in COLUMNS}
     ref = results["interp"]
-    for mode in ("fast", "fused"):
+    for mode in ("fast", "fused", "host"):
         for name in ref.arrays:
             assert (ref.arrays[name].tobytes()
                     == results[mode].arrays[name].tobytes()), (mode, name)
@@ -77,18 +97,18 @@ def _check_contract(exe):
     return results
 
 
-def _time_engines(exe):
+def _time_engines(exe, host_exe):
     """One batch per engine (interleaving makes the allocator state
     oscillate and every engine's timings noisy; batching gives each
     engine its own steady state).  The untimed warm-ups let each
     engine reach that state — the first runs after a process has
     churned memory pay page-reclaim costs regardless of engine."""
-    times = {mode: [] for mode in ENGINES}
-    for mode in ENGINES:
+    times = {mode: [] for mode in COLUMNS}
+    for mode in COLUMNS:
         for _ in range(WARMUP):
-            _run(exe, mode)
+            _run(exe, mode, host_exe)
         for _ in range(ROUNDS):
-            secs, _ = _run(exe, mode)
+            secs, _ = _run(exe, mode, host_exe)
             times[mode].append(secs)
     return times
 
@@ -101,9 +121,11 @@ def _engine_payload(times):
 
 def _bench(name, source, grid):
     exe = compile_source(source)
-    results = _check_contract(exe)
-    times = _time_engines(exe)
+    host_exe = compile_source(source, CompilerOptions(target="host"))
+    results = _check_contract(exe, host_exe)
+    times = _time_engines(exe, host_exe)
     lo = {mode: min(ts) for mode, ts in times.items()}
+    mid = {mode: statistics.median(ts) for mode, ts in times.items()}
     payload = {
         "benchmark": name,
         "grid": grid,
@@ -111,21 +133,25 @@ def _bench(name, source, grid):
         "rounds": ROUNDS,
         "warmup": WARMUP,
         **_engine_payload(times),
-        "speedup": lo["interp"] / lo["fast"],          # min over min
-        "speedup_fused": lo["fast"] / lo["fused"],
-        "speedup_median": (statistics.median(times["interp"])
-                           / statistics.median(times["fast"])),
+        "speedup": mid["interp"] / mid["fast"],    # median over median
+        "speedup_fused": mid["fast"] / mid["fused"],
+        "speedup_host": mid["fused"] / mid["host"],
+        "speedup_min": lo["interp"] / lo["fast"],  # min over min, context
+        "speedup_fused_min": lo["fast"] / lo["fused"],
+        "speedup_host_min": lo["fused"] / lo["host"],
         "simulated_gflops": results["fast"].gflops(),
         "simulated_gflops_fused": results["fused"].gflops(),
         "fusion": results["fused"].machine.fusion_summary(),
+        "host_fusion": results["host"].machine.fusion_summary(),
     }
     print()
-    for mode in ENGINES:
+    for mode in COLUMNS:
         print(f"    {mode:<7} min {lo[mode]:.3f}s  median "
-              f"{statistics.median(times[mode]):.3f}s")
-    print(f"    fast  vs interp {payload['speedup']:.2f}x (min)")
-    print(f"    fused vs fast   {payload['speedup_fused']:.2f}x (min), "
+              f"{mid[mode]:.3f}s")
+    print(f"    fast  vs interp {payload['speedup']:.2f}x (median)")
+    print(f"    fused vs fast   {payload['speedup_fused']:.2f}x (median), "
           f"simulated {payload['simulated_gflops_fused']:.3f} GFLOPS")
+    print(f"    host  vs fused  {payload['speedup_host']:.2f}x (median)")
     return payload
 
 
@@ -135,8 +161,11 @@ def test_engine_wallclock_speedups():
     heat_n = max(64, SWE_N // 2)
     heat = _bench("heat-jacobi", heat_source(heat_n, STEPS),
                   f"{heat_n}x{heat_n}")
+    life_n = max(64, SWE_N // 2)
+    life = _bench("game-of-life", life_source(life_n, STEPS),
+                  f"{life_n}x{life_n}")
     payload = dict(swe)  # SWE stays the top-level headline record
-    payload["programs"] = {"swe": swe, "heat": heat}
+    payload["programs"] = {"swe": swe, "heat": heat, "life": life}
     with open(_OUT, "w") as f:
         json.dump(payload, f, indent=2)
         f.write("\n")
@@ -147,6 +176,9 @@ def test_engine_wallclock_speedups():
     assert swe["speedup_fused"] >= MIN_FUSED, (
         f"fused engine speedup {swe['speedup_fused']:.2f}x over fast "
         f"below floor {MIN_FUSED:.1f}x")
+    assert swe["speedup_host"] >= MIN_HOST, (
+        f"host target {swe['speedup_host']:.2f}x vs fused below floor "
+        f"{MIN_HOST:.2f}x")
     if SWE_N >= 512:
         # The committed simulated-performance headline (ISSUE 6).
         assert swe["simulated_gflops_fused"] >= 2.99, swe

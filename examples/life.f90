@@ -1,0 +1,24 @@
+
+program life
+integer, parameter :: n = 64
+integer, parameter :: steps = 8
+integer, array(n,n) :: grid, neighbors, next
+integer it
+forall (i=1:n, j=1:n) grid(i,j) = mod(i*i + j*5 + i*j, 3) / 2
+do it = 1, steps
+   neighbors = cshift(grid, shift=1, dim=1) + cshift(grid, shift=-1, dim=1) &
+             + cshift(grid, shift=1, dim=2) + cshift(grid, shift=-1, dim=2) &
+             + cshift(cshift(grid, shift=1, dim=1), shift=1, dim=2) &
+             + cshift(cshift(grid, shift=1, dim=1), shift=-1, dim=2) &
+             + cshift(cshift(grid, shift=-1, dim=1), shift=1, dim=2) &
+             + cshift(cshift(grid, shift=-1, dim=1), shift=-1, dim=2)
+   next = 0
+   where (neighbors == 3)
+      next = 1
+   end where
+   where ((grid == 1) .and. (neighbors == 2))
+      next = 1
+   end where
+   grid = next
+end do
+end program life

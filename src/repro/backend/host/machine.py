@@ -1,0 +1,64 @@
+"""The host machine: the CM dispatch contract over compiled kernels.
+
+:class:`HostMachine` keeps the whole :class:`~repro.machine.cm2.Machine`
+contract — storage and geometry, ``call_routine``/``call_fused``, the
+deterministic :class:`~repro.machine.stats.RunStats` accounting, the
+dispatch-time verifier hook — and swaps only the node execution engine:
+``"fast"`` and ``"fused"`` dispatches route through the host kernel
+tiers (:mod:`.kernels`) instead of the plan step loop, and cycles are
+charged under the measured :func:`~repro.machine.costs.host_model`
+(1 cycle = 1 ns), so ``stats.seconds()`` is a calibrated wallclock
+estimate rather than a simulated Weitek figure.
+
+``exec_mode="interp"`` still runs the :class:`VectorExecutor` oracle —
+the bit-identity tests hold across all three engines on this target
+exactly as they do on cm2/cm5.  The default engine is ``"fused"``:
+with no simulated machine to stay faithful to, there is no reason not
+to batch adjacent calls into mega-kernels.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ...machine.cm2 import Machine
+from ...machine.costs import CostModel, host_model
+from . import kernels
+from .kernels import run_dispatch
+
+
+class HostMachine(Machine):
+    """A native-host execution engine behind the Machine contract."""
+
+    @property
+    def kernel_flavor(self) -> str | None:
+        """Mega-kernel cache flavor: host-tuned builds key separately."""
+        return "host" if kernels.tuning_enabled() else None
+
+    def tune_kernel(self, kern) -> object:
+        """Hook for the fused engine: retune native mega-kernels."""
+        return kernels.tune(kern)
+
+    def __init__(self, model: CostModel | None = None,
+                 exec_mode: str | None = None) -> None:
+        mode = exec_mode or os.environ.get("REPRO_EXEC") or "fused"
+        super().__init__(model or host_model(), exec_mode=mode)
+        self.host_metrics: dict[str, int] = {
+            "native_dispatches": 0,
+            "native_builds": 0,
+            "blocked_dispatches": 0,
+            "steps_dispatches": 0,
+        }
+
+    def _execute_dispatch(self, d) -> None:
+        if self.exec_mode == "interp":
+            super()._execute_dispatch(d)
+            return
+        tier = run_dispatch(self, d)
+        self.host_metrics[f"{tier}_dispatches"] += 1
+
+    def fusion_summary(self) -> dict:
+        out = super().fusion_summary()
+        out.update({f"host_{key}": value
+                    for key, value in self.host_metrics.items()})
+        return out

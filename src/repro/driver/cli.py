@@ -67,7 +67,7 @@ def _machine(args) -> Machine:
         exec_mode = "fused"
     return build_machine(getattr(args, "target", "cm2"),
                          model=getattr(args, "model", None),
-                         pes=getattr(args, "pes", 2048),
+                         pes=getattr(args, "pes", None),
                          exec_mode=exec_mode)
 
 
@@ -139,8 +139,9 @@ def _add_pipeline_args(p: argparse.ArgumentParser) -> None:
 def _add_exec_args(p: argparse.ArgumentParser) -> None:
     """The execution switches shared by run/compare."""
     g = p.add_argument_group("execution")
-    g.add_argument("--pes", type=int, default=2048,
-                   help="number of processing elements (power of two)")
+    g.add_argument("--pes", type=int, default=None,
+                   help="number of processing elements (power of two; "
+                        "default: the target's own PE count)")
     g.add_argument("--model", choices=model_names(), default=None,
                    help="cost model (default: the target's own model)")
     g.add_argument("--exec", dest="exec_mode",
@@ -254,14 +255,30 @@ def cmd_compare(args) -> int:
         return _list_passes()
     source = _read_source(args.file)
     mode = args.exec_mode
+    if args.targets is not None:
+        # Cross-target mode: same program through every backend.
+        from ..service.jobs import run_target_compare
+
+        payload = run_target_compare(
+            source, targets=args.targets or None, pes=args.pes,
+            exec_mode=mode, options=_options(args))
+        print(f"{'target':<8} {'model':<16} {'GFLOPS':>8} "
+              f"{'wall(s)':>9} {'max|diff|':>10}")
+        for i, row in enumerate(payload["rows"]):
+            diff = "ref" if i == 0 else f"{row['max_abs_diff']:.3g}"
+            print(f"{row['target']:<8} {row['model']:<16} "
+                  f"{row['gflops']:>8.3f} {row['wall_seconds']:>9.4f} "
+                  f"{diff:>10}")
+        return 0
+    pes = args.pes if args.pes is not None else 2048
     rows = []
     exe = compile_starlisp(source)
     rows.append(("*Lisp (fieldwise)",
-                 exe.run(Machine(fieldwise_model(args.pes),
+                 exe.run(Machine(fieldwise_model(pes),
                                  exec_mode=mode))))
     exe = compile_cmfortran(source)
     rows.append(("CM Fortran v1.1",
-                 exe.run(Machine(slicewise_model(args.pes),
+                 exe.run(Machine(slicewise_model(pes),
                                  exec_mode=mode))))
     exe = compile_source(source, _options(args),
                          cache=(True if args.cache else None))
@@ -368,9 +385,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare",
-                       help="the §6 three-compiler comparison")
+                       help="the §6 three-compiler comparison, or "
+                            "(with --targets) a cross-target one")
     p.add_argument("file", nargs="?",
                    help="Fortran source file, or - for stdin")
+    p.add_argument("--targets", nargs="*", metavar="TARGET", default=None,
+                   help="compare registered targets instead of the §6 "
+                        "baselines: per-target wallclock and max "
+                        "abs-diff vs the first target (no names: all "
+                        "registered targets)")
     _add_pipeline_args(p)
     _add_exec_args(p)
     p.set_defaults(func=cmd_compare)

@@ -7,6 +7,7 @@ from .costs import (
     InstructionCosts,
     cm5_model,
     fieldwise_model,
+    host_model,
     model_names,
     slicewise_model,
 )

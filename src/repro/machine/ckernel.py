@@ -264,8 +264,10 @@ class _CEmitter:
         return _load(src, nslots, tuple(sregs))
 
 
-def _load(src: str, nslots: int, sregs: tuple) -> _CKernel:
-    cached = _SO_CACHE.get(src)
+def _load(src: str, nslots: int, sregs: tuple,
+          extra_flags: tuple = ()) -> _CKernel:
+    key = (src, extra_flags)
+    cached = _SO_CACHE.get(key)
     if cached is None:
         cc = _compiler()
         if cc is None:
@@ -275,8 +277,9 @@ def _load(src: str, nslots: int, sregs: tuple) -> _CKernel:
         sofile = os.path.join(_workdir(), f"{tag}.so")
         with open(cfile, "w") as f:
             f.write(src)
-        proc = subprocess.run([cc, *_CFLAGS, "-o", sofile, cfile, "-lm"],
-                              capture_output=True)
+        proc = subprocess.run(
+            [cc, *_CFLAGS, *extra_flags, "-o", sofile, cfile, "-lm"],
+            capture_output=True)
         if proc.returncode != 0:
             raise _CBail
         lib = ctypes.CDLL(sofile)
@@ -284,9 +287,26 @@ def _load(src: str, nslots: int, sregs: tuple) -> _CKernel:
         fn.argtypes = [ctypes.POINTER(ctypes.c_void_p),
                        ctypes.POINTER(ctypes.c_double), ctypes.c_long]
         fn.restype = None
-        cached = _SO_CACHE[src] = (lib, fn)
+        cached = _SO_CACHE[key] = (lib, fn)
     lib, fn = cached
     return _CKernel(fn, lib, nslots, sregs, src)
+
+
+def retune(kern, extra_flags: tuple) -> object:
+    """The same kernel recompiled with extra compiler flags.
+
+    Flags must preserve per-element IEEE semantics (``-ffp-contract=off``
+    stays in force, so e.g. ``-march=native`` only widens the vector
+    unit without reassociating or contracting).  Returns the original
+    kernel untouched when it is not native or the recompile fails.
+    """
+    if not getattr(kern, "native", False) or not extra_flags:
+        return kern
+    try:
+        return _load(kern.source, kern._nslots, kern._sregs,
+                     tuple(extra_flags))
+    except _CBail:
+        return kern
 
 
 def try_native(plan, spec, classes, n, S):

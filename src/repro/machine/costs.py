@@ -23,7 +23,10 @@ multiply-add, and interpreted per-operation dispatch from the front end.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 
 
 @dataclass(frozen=True)
@@ -214,4 +217,113 @@ def cm5_model(n_nodes: int = 256) -> CostModel:
         router_per_element=160,
         router_latency=1600,
         hop_cycles=150,
+    )
+
+
+# -- the host model: measured, not simulated --------------------------------
+
+#: Fallback constants (nanoseconds) when calibration is disabled via
+#: ``REPRO_HOST_CALIBRATE=0`` or the timer resolves to zero.  They match
+#: a commodity x86 core running memory-bound float64 ufuncs.
+_HOST_CANNED = {
+    "arith": 1.0, "div": 4.0, "sqrt": 5.0, "trans": 20.0,
+    "cmp": 1.0, "copy": 0.8, "roll": 1.5, "call": 1200.0,
+}
+
+
+def _best_ns(fn, reps: int = 3) -> float:
+    """Minimum wall-clock nanoseconds over ``reps`` invocations."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e9
+
+
+@lru_cache(maxsize=1)
+def _host_calibration() -> dict:
+    """Per-operation nanosecond costs of the CPU actually running us.
+
+    Measured once per process (the cache makes every host machine in a
+    process share one deterministic table, so :class:`RunStats` stay
+    identical across reruns and exec engines).  ``REPRO_HOST_CALIBRATE=0``
+    skips measurement and uses the canned constants — useful when a test
+    needs cross-process stability.
+    """
+    if os.environ.get("REPRO_HOST_CALIBRATE") == "0":
+        return dict(_HOST_CANNED)
+    import numpy as np
+
+    n = 1 << 16
+    a = np.linspace(0.1, 1.9, n)
+    b = np.linspace(1.1, 2.9, n)
+    out = np.empty(n)
+    small = np.ones(16)
+    sout = np.empty(16)
+    probes = {
+        "arith": lambda: np.add(a, b, out=out),
+        "div": lambda: np.divide(a, b, out=out),
+        "sqrt": lambda: np.sqrt(a, out=out),
+        "trans": lambda: np.sin(a, out=out),
+        "cmp": lambda: np.less(a, b, out=np.empty(n, dtype=bool)),
+        "copy": lambda: np.copyto(out, a),
+        "roll": lambda: np.copyto(out, np.roll(a, 1)),
+    }
+    table = {}
+    for key, fn in probes.items():
+        fn()  # warm the code path before timing
+        ns = _best_ns(fn) / n
+        table[key] = ns if ns > 0 else _HOST_CANNED[key]
+    # Per-call dispatch overhead: a ufunc on a tiny array is almost
+    # entirely numpy/Python call machinery.
+    np.add(small, small, out=sout)
+    call = _best_ns(lambda: np.add(small, small, out=sout), reps=5)
+    table["call"] = call if call > 0 else _HOST_CANNED["call"]
+    return table
+
+
+def _trip(ns_per_element: float) -> int:
+    """ns/element → whole cycles per four-element trip at 1 GHz."""
+    return max(1, round(ns_per_element * 4))
+
+
+@_model
+def host_model(n_pes: int = 1) -> CostModel:
+    """The native-host model: one cycle is one measured nanosecond.
+
+    Unlike the CM models there are no simulated Weitek cycles — the
+    instruction table is calibrated from a micro-benchmark of the CPU
+    the process is running on (:func:`_host_calibration`), the clock is
+    1 GHz so reported cycles read directly as nanoseconds, and the
+    default geometry is a single "PE" (the whole array is one virtual
+    subgrid streamed through cache-blocked kernels).
+    """
+    cal = _host_calibration()
+    arith = _trip(cal["arith"])
+    mem = _trip(cal["copy"])
+    return CostModel(
+        name="host",
+        clock_hz=1.0e9,
+        n_pes=n_pes,
+        instr=InstructionCosts(
+            arith=arith, move=mem, cmp=_trip(cal["cmp"]),
+            logic=_trip(cal["cmp"]), select=3 * mem,
+            iarith=arith, fma=2 * arith,
+            div=_trip(cal["div"]), idiv=_trip(cal["div"]),
+            sqrt=_trip(cal["sqrt"]), trans=_trip(cal["trans"]),
+            load=mem, store=mem, loop_overhead=1,
+        ),
+        chaining=True,       # a memory operand is just another ufunc arg
+        dual_issue=False,    # numpy passes do not overlap
+        fma_supported=True,
+        call_dispatch=max(1, round(cal["call"])),
+        ififo_push=max(1, round(cal["call"] / 40)),
+        grid_per_element=_trip(cal["roll"]),
+        grid_latency=max(1, round(cal["call"])),
+        router_per_element=4 * _trip(cal["roll"]),
+        router_latency=2 * max(1, round(cal["call"])),
+        hop_cycles=max(1, round(cal["call"] / 4)),
+        host_op=10,
+        host_element_op=max(1, round(cal["arith"] * 20)),
     )

@@ -392,7 +392,12 @@ class ExecutionPlan:
                 if spec is None:
                     return None  # the recording pass runs stepwise first
                 specs.append(spec)
-            key = (self.serials, self._slot_key, sigs, self.n)
+            # Machines may retune native kernels (extra compiler flags
+            # for the real CPU); the flavor keys the tuned build
+            # separately so simulated targets keep the baseline one.
+            tune = getattr(machine, "tune_kernel", None)
+            key = (self.serials, self._slot_key, sigs, self.n,
+                   getattr(machine, "kernel_flavor", None))
             kern = _MEGA_KERNELS.get(key)
             if kern is None:
                 S = self.rebind(dispatches)
@@ -405,6 +410,8 @@ class ExecutionPlan:
                 if kern is None:
                     kern = _build(merged, mspec, identity, self.n, S)
                 else:
+                    if tune is not None:
+                        kern = tune(kern)
                     machine.fusion_metrics["megakernel_native"] += 1
                 _remember(key, kern)
                 machine.fusion_metrics["megakernel_builds"] += 1

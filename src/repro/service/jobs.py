@@ -14,7 +14,13 @@ Request shapes (``id`` is optional and echoed back verbatim)::
      "pes": 2048, "model": "slicewise", "exec": "fast"}
     {"op": "compare", "source": "...", "options": {...},
      "pes": 2048, "model": "slicewise", "exec": "fast"}
+    {"op": "compare", "source": "...", "targets": ["cm2", "host"]}
     {"op": "lint", "source": "...", "strict": false}
+
+A ``compare`` with a ``"targets"`` key (a list of registered target
+names, or ``"all"``) runs the cross-target comparison instead of the
+§6 baselines: per-target wallclock plus max-abs-diff against the
+first target's arrays.
 
 ``options`` mirrors the CLI pipeline flags: ``{"naive": bool,
 "neighborhood": bool, "target": "cm2"|"cm5", "verify": bool}``.
@@ -78,10 +84,11 @@ def build_machine(request: dict, target: str = "cm2"):
     """
     from ..targets import build_machine as registry_build_machine
 
+    pes = request.get("pes")
     return registry_build_machine(
         target,
         model=request.get("model"),
-        pes=int(request.get("pes", 2048)),
+        pes=int(pes) if pes is not None else None,
         exec_mode=request.get("exec"))
 
 
@@ -119,6 +126,61 @@ def speedup_str(cycles: int, base: int) -> str:
     if base == 0:
         return "n/a (zero-cycle base)"
     return f"{cycles / base:.2f}x"
+
+
+def run_target_compare(source: str, targets=None, pes: int | None = None,
+                       exec_mode: str | None = None, options=None) -> dict:
+    """Cross-target comparison: one program through every backend.
+
+    ``targets`` is a list of registered target names (default: all of
+    them, in registry order).  Each target compiles the source through
+    its own backend and runs on its own machine; the first target is
+    the reference and every later row reports the max absolute
+    difference of its arrays against it — 0.0 is the retargeting claim
+    made measurable.  Unknown targets raise
+    :class:`~repro.targets.UnknownTargetError` (a structured error
+    through the service).
+    """
+    import numpy as np
+
+    from ..driver.compiler import CompilerOptions, compile_source
+    from ..targets import (
+        build_machine as registry_build_machine,
+        get_target,
+        target_names,
+    )
+
+    names = [get_target(t).name for t in targets] if targets \
+        else target_names()
+    base = options or CompilerOptions()
+    rows = []
+    ref_arrays = None
+    for name in names:
+        opts = base if base.target == name \
+            else dataclasses.replace(base, target=name)
+        exe = compile_source(source, opts, cache=False)
+        machine = registry_build_machine(name, pes=pes,
+                                         exec_mode=exec_mode)
+        t0 = time.perf_counter()
+        result = exe.run(machine)
+        wall = time.perf_counter() - t0
+        if ref_arrays is None:
+            ref_arrays = result.arrays
+            diff = 0.0
+        else:
+            diff = max((float(np.max(np.abs(
+                np.asarray(result.arrays[k], dtype=np.float64)
+                - np.asarray(ref_arrays[k], dtype=np.float64))))
+                for k in ref_arrays if ref_arrays[k].size), default=0.0)
+        rows.append({
+            "target": name,
+            "model": machine.model.name,
+            "wall_seconds": wall,
+            "gflops": result.gflops(),
+            "total_cycles": result.stats.total_cycles,
+            "max_abs_diff": diff,
+        })
+    return {"reference": names[0], "rows": rows}
 
 
 def run_compare(source: str, pes: int = 2048,
@@ -223,9 +285,21 @@ def _dispatch(request: dict, cache: CompileCache | None) -> dict:
     if op == "compare":
         source = _source_of(request)
         t0 = time.perf_counter()
-        payload = run_compare(source, pes=int(request.get("pes", 2048)),
-                              exec_mode=request.get("exec"),
-                              options=build_options(request.get("options")))
+        if "targets" in request:
+            # Cross-target mode: {"targets": [...]} or "all".
+            spec = request["targets"]
+            targets = None if spec in ("all", None) else list(spec)
+            pes = request.get("pes")
+            payload = run_target_compare(
+                source, targets=targets,
+                pes=int(pes) if pes is not None else None,
+                exec_mode=request.get("exec"),
+                options=build_options(request.get("options")))
+        else:
+            payload = run_compare(
+                source, pes=int(request.get("pes", 2048)),
+                exec_mode=request.get("exec"),
+                options=build_options(request.get("options")))
         payload["timings"] = {"run_seconds": time.perf_counter() - t0}
         return payload
     if op == "lint":

@@ -50,6 +50,18 @@ def _cm5_compiler() -> type:
     return Cm5Compiler
 
 
+def _host_compiler() -> type:
+    from ..backend.host.compiler import HostCompiler
+
+    return HostCompiler
+
+
+def _host_machine() -> type:
+    from ..backend.host.machine import HostMachine
+
+    return HostMachine
+
+
 register_target(Target(
     name="cm2",
     description="CM/2: 2,048 slicewise PEs over the Weitek datapath",
@@ -71,4 +83,16 @@ register_target(Target(
     verify_peac=False,
     default_pes=256,
     paper_section="§5.3.1",
+))
+
+register_target(Target(
+    name="host",
+    description="native host: blocked phases run as compiled C/numpy "
+                "kernels on this CPU, costed by measurement",
+    compiler_loader=_host_compiler,
+    models=("host",),
+    verify_peac=True,
+    default_pes=1,
+    paper_section="§5.3.1 (retargeting, applied again)",
+    machine_loader=_host_machine,
 ))

@@ -73,6 +73,10 @@ class Target:
     #: target whose dispatch semantics cannot tolerate merged IFIFO
     #: pushes can opt out here.
     fuse_exec: bool = True
+    #: Lazy loader for the machine class executables run on (defaults to
+    #: the simulated CM :class:`~repro.machine.Machine`); a target with
+    #: its own dispatch engine registers it here.
+    machine_loader: Callable[[], type] | None = None
 
     @property
     def default_model(self) -> str:
@@ -81,6 +85,12 @@ class Target:
     def compiler(self) -> type:
         """The backend compiler class (imported on first use)."""
         return self.compiler_loader()
+
+    def machine_class(self) -> type:
+        """The machine class for this target (imported on first use)."""
+        if self.machine_loader is None:
+            return Machine
+        return self.machine_loader()
 
 
 _TARGETS: dict[str, Target] = {}
@@ -145,5 +155,6 @@ def build_machine(target: str | Target, model: str | None = None,
     """A fresh simulated machine for ``target``, via the registries."""
     record = target if isinstance(target, Target) else get_target(target)
     factory = get_model_factory(resolve_model(record, model))
-    return Machine(factory(pes if pes is not None else record.default_pes),
-                   exec_mode=exec_mode)
+    cls = record.machine_class()
+    return cls(factory(pes if pes is not None else record.default_pes),
+               exec_mode=exec_mode)

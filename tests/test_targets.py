@@ -57,7 +57,7 @@ end
 
 class TestTargetRegistry:
     def test_builtin_targets(self):
-        assert target_names() == ["cm2", "cm5"]
+        assert target_names() == ["cm2", "cm5", "host"]
 
     def test_records_resolve_lazily_to_backends(self):
         from repro.backend.cm2.partition import Cm2Compiler
