@@ -1,0 +1,156 @@
+"""Service load benchmark: concurrent clients against the asyncio
+server, landing in ``BENCH_load.json`` at the repo root.
+
+Two experiments:
+
+* **mixed load** — ``REPRO_LOAD_CLIENTS`` concurrent asyncio clients
+  drive a mixed multi-tenant compile/run workload (plus the coalesce
+  wave) through an in-process server and full-size worker pool.  The
+  payload records client-observed p50/p95/p99 latency, jobs/sec, the
+  server's queue-wait distribution, singleflight hits/leaders, and
+  admission stats.  Asserted: every request answered, at least one
+  coalescing hit (the wave guarantees contention), and a jobs/sec
+  floor.
+* **singleflight exactness** — N clients fire an identical fresh
+  compile at the same instant; the pool-job counter must move by
+  exactly **one**.  Concurrency makes a perfect wave improbable on a
+  loaded machine, so the experiment retries a few times with a fresh
+  key — but a success is unambiguous: N responses, 1 pool job.
+
+Knobs: ``REPRO_LOAD_CLIENTS`` (default 32), ``REPRO_LOAD_REQUESTS``
+(total workload requests, default 192), ``REPRO_LOAD_TENANTS``
+(default 4), ``REPRO_LOAD_MIN_JOBS_PER_SEC`` (throughput floor,
+default 5).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.service.loadgen import run_loadgen
+from repro.service.pool import WorkerPool
+from repro.service.server import ReproServer, send_request
+
+CLIENTS = int(os.environ.get("REPRO_LOAD_CLIENTS", "32"))
+REQUESTS = int(os.environ.get("REPRO_LOAD_REQUESTS", "192"))
+TENANTS = int(os.environ.get("REPRO_LOAD_TENANTS", "4"))
+MIN_JOBS_PER_SEC = float(
+    os.environ.get("REPRO_LOAD_MIN_JOBS_PER_SEC", "5"))
+
+_OUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_load.json")
+
+
+def _merge_payload(section: str, data: dict) -> None:
+    payload = {}
+    try:
+        with open(_OUT) as f:
+            payload = json.load(f)
+    except (OSError, ValueError):
+        pass
+    payload["benchmark"] = "load"
+    payload[section] = data
+    with open(_OUT, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def test_mixed_load_latency_and_coalescing(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    result = run_loadgen(clients=CLIENTS, requests=REQUESTS,
+                         tenants=TENANTS)
+    result["cpus"] = os.cpu_count() or 1
+    result["min_jobs_per_second"] = MIN_JOBS_PER_SEC
+    _merge_payload("mixed_load", result)
+
+    latency = result["latency_seconds"]
+    flight = result["server"]["singleflight"]
+    print()
+    print(f"    {result['requests_completed']} responses / "
+          f"{result['clients']} clients / "
+          f"{result['tenants']} tenants in "
+          f"{result['wall_seconds']:.2f}s  "
+          f"({result['jobs_per_second']:.1f} jobs/s, "
+          f"{result['pool']['workers']} worker(s))")
+    print(f"    latency  p50 {latency['p50'] * 1e3:7.1f}ms  "
+          f"p95 {latency['p95'] * 1e3:7.1f}ms  "
+          f"p99 {latency['p99'] * 1e3:7.1f}ms")
+    print(f"    coalesce {flight['hits']} hits / "
+          f"{flight['leaders']} leaders  "
+          f"pool jobs {result['server']['pool_jobs']}  "
+          f"queue peak {result['server']['admission']['queue_peak']}")
+
+    assert result["failure_count"] == 0, result["failures"]
+    assert result["requests_completed"] == result["requests_sent"]
+    # The coalesce wave makes singleflight activity a hard guarantee,
+    # not a scheduling accident.
+    assert flight["hits"] >= 1
+    assert result["server"]["pool_jobs"] < result["requests_completed"]
+    assert result["jobs_per_second"] >= MIN_JOBS_PER_SEC, (
+        f"only {result['jobs_per_second']:.1f} jobs/s "
+        f"(floor {MIN_JOBS_PER_SEC}): {result}")
+
+
+def test_singleflight_exactness_n_compiles_one_job(tmp_path):
+    """N concurrent identical compiles must cost exactly one pool job."""
+    waiters = 8
+    pool = WorkerPool(1, cache=str(tmp_path / "cache"))
+    server = ReproServer(port=0, pool=pool)
+    server.start()
+    attempts = []
+    try:
+        for attempt in range(5):
+            nonce = f"exact-{attempt}-{time.time_ns():x}"
+            source = (f"program exact\n! nonce {nonce}\n"
+                      f"integer, parameter :: n = 16\n"
+                      f"double precision, array(n,n) :: a, b\n"
+                      f"a = 1.5d0\nb = cshift(a, 1, 1) + a\n"
+                      f"print *, sum(b)\nend program exact\n")
+            before = send_request(server.address,
+                                  {"op": "metrics"})["metrics"]
+            barrier = threading.Barrier(waiters)
+            responses = [None] * waiters
+
+            def fire(i, src=source, b=barrier, out=responses):
+                b.wait()
+                out[i] = send_request(
+                    server.address,
+                    {"op": "compile", "source": src}, timeout=60.0)
+
+            threads = [threading.Thread(target=fire, args=(i,))
+                       for i in range(waiters)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            after = send_request(server.address,
+                                 {"op": "metrics"})["metrics"]
+            pool_jobs = after["requests"] - before["requests"]
+            coalesced = sum(1 for r in responses if r.get("coalesced"))
+            attempts.append({"pool_jobs": pool_jobs,
+                             "coalesced": coalesced})
+            assert all(r["ok"] for r in responses)
+            if pool_jobs == 1:
+                break
+        data = {
+            "waiters": waiters,
+            "attempts": attempts,
+            "pool_jobs": attempts[-1]["pool_jobs"],
+            "coalesced_waiters": attempts[-1]["coalesced"],
+        }
+        _merge_payload("singleflight_exactness", data)
+        print()
+        print(f"    {waiters} concurrent identical compiles -> "
+              f"{data['pool_jobs']} pool job(s), "
+              f"{data['coalesced_waiters']} coalesced waiter(s) "
+              f"({len(attempts)} attempt(s))")
+        assert data["pool_jobs"] == 1, (
+            f"{waiters} identical compiles cost "
+            f"{data['pool_jobs']} pool jobs across "
+            f"{len(attempts)} attempts: {attempts}")
+        assert data["coalesced_waiters"] == waiters - 1
+    finally:
+        server.stop()
+        pool.close()

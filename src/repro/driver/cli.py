@@ -10,9 +10,12 @@ Commands:
   vs the CM Fortran and \\*Lisp models;
 * ``lint`` — frontend + semantic analysis only, with source-located
   diagnostics (exit 0 clean, 1 warnings, 2 errors; ``--format=json``);
-* ``serve`` — the JSON-lines compile-and-run service (persistent
-  compile cache + worker pool; see :mod:`repro.service`);
-* ``batch`` — run a JSON-lines job file through the worker pool.
+* ``serve`` — the asyncio JSON-lines compile-and-run service
+  (persistent compile cache + worker pool + tenant-fair admission;
+  see :mod:`repro.service`);
+* ``batch`` — run a JSON-lines job file through the worker pool;
+* ``loadgen`` — drive a server (or an in-process one) with concurrent
+  clients and report latency percentiles, jobs/sec, and coalescing.
 
 ``REPRO_DEBUG=1`` re-raises errors with full tracebacks instead of the
 one-line diagnostics; ``REPRO_CACHE=1`` makes every compile consult the
@@ -323,7 +326,19 @@ def cmd_serve(args) -> int:
 
     pool = WorkerPool(args.workers, timeout=args.timeout,
                       cache=_service_cache(args))
-    return serve(args.host, args.port, pool)
+    return serve(args.host, args.port, pool,
+                 high_water=args.high_water,
+                 idle_timeout=args.idle_timeout)
+
+
+def cmd_loadgen(args) -> int:
+    from ..service.loadgen import loadgen_main
+
+    address = (args.host, args.port) if args.port else None
+    return loadgen_main(address, clients=args.clients,
+                        requests=args.requests, tenants=args.tenants,
+                        workers=args.workers, json_path=args.json,
+                        out=sys.stderr)
 
 
 def cmd_batch(args) -> int:
@@ -343,8 +358,9 @@ def _service_cache(args):
 
 def _add_service_args(p: argparse.ArgumentParser) -> None:
     g = p.add_argument_group("service")
-    g.add_argument("--workers", type=int, default=1,
-                   help="worker processes (1 = in-process fallback)")
+    g.add_argument("--workers", type=int, default=0,
+                   help="worker processes (0 = one per CPU, "
+                        "1 = in-process fallback)")
     g.add_argument("--timeout", type=float, default=None,
                    help="per-job timeout in seconds (pool mode)")
     g.add_argument("--cache-dir", default=None,
@@ -414,8 +430,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=9290,
                    help="TCP port (0 = pick a free port)")
+    p.add_argument("--high-water", type=int, default=512,
+                   help="admission queue depth past which new requests "
+                        "get a structured Overloaded error")
+    p.add_argument("--idle-timeout", type=float, default=300.0,
+                   help="close connections silent for this many seconds")
     _add_service_args(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("loadgen",
+                       help="concurrent-client load benchmark against "
+                            "the service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="target a running server (0 = spin one up "
+                        "in-process for the run)")
+    p.add_argument("--clients", type=int, default=16,
+                   help="concurrent client connections")
+    p.add_argument("--requests", type=int, default=96,
+                   help="total requests across all clients (plus one "
+                        "coalesce-wave compile per client)")
+    p.add_argument("--tenants", type=int, default=2,
+                   help="tenant names to spread the clients over")
+    p.add_argument("--workers", type=int, default=0,
+                   help="pool size for the in-process server "
+                        "(0 = one per CPU)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the full result payload to PATH")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("batch",
                        help="run a JSON-lines job file through the pool")

@@ -11,13 +11,20 @@ turns the one-shot CLI into a serving stack:
   LRU size cap;
 * :mod:`repro.service.jobs`    -- the request vocabulary
   (``compile``/``run``/``compare``) shared by every entry point;
-* :mod:`repro.service.pool`    -- a multi-process worker pool with
-  per-job timeouts, retry-once-on-crash, and a graceful single-process
+* :mod:`repro.service.pool`    -- a multi-process worker pool (sized
+  from ``os.cpu_count()`` by default) with a persistent dispatcher,
+  awaitable ``submit()`` handles, cache-warm worker affinity, per-job
+  timeouts, retry-once-on-crash, and a graceful single-process
   fallback;
 * :mod:`repro.service.metrics` -- per-request counters and latency
-  percentiles (cache hit/miss, queue wait, compile vs execute time);
-* :mod:`repro.service.server`  -- a JSON-lines request server
-  (``repro serve``);
+  percentiles (cache hit/miss, queue wait, coalescing, per-tenant,
+  compile vs execute time);
+* :mod:`repro.service.server`  -- the asyncio JSON-lines request
+  server (``repro serve``): bounded admission with backpressure,
+  weighted round-robin tenant fairness, singleflight coalescing of
+  identical in-flight requests, and graceful drain on shutdown;
+* :mod:`repro.service.loadgen` -- the concurrent-client load
+  benchmark (``repro loadgen``);
 * :mod:`repro.service.batch`   -- the job-file batch runner
   (``repro batch``).
 """

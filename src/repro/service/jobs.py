@@ -6,7 +6,10 @@ pool worker processes, in the single-process fallback, and under the
 JSON-lines server, so a job file, a socket client, and the CLI all
 speak the same protocol.
 
-Request shapes (``id`` is optional and echoed back verbatim)::
+Request shapes (``id`` is optional and echoed back verbatim; the
+async server additionally honors an optional ``tenant`` field for fair
+scheduling and an optional ``coalesce_key`` for explicit singleflight
+grouping — see :mod:`repro.service.server`)::
 
     {"op": "ping"}
     {"op": "compile", "source": "...", "options": {...}, "verify": true}
@@ -119,6 +122,41 @@ def _compile(request: dict, cache: CompileCache | None):
         exe = compile_source(source, options, cache=False)
         state = None
     return exe, key, state, time.perf_counter() - t0
+
+
+def request_fingerprint(request: dict) -> str | None:
+    """The singleflight/affinity key of a request, or None.
+
+    Identical fingerprints promise identical responses, so concurrent
+    requests with the same key can share one unit of work and repeated
+    keys can be routed to the same cache-warm worker.  An explicit
+    ``coalesce_key`` wins (the caller asserts equivalence — the load
+    generator and tests use this); otherwise ``compile``/``run``
+    requests with inline ``source`` are keyed by the compile cache's
+    content address (plus the machine-shaping fields for ``run``).
+    Anything else — file-based requests (the file could change between
+    reads), ``lint``/``compare``/admin ops — is never coalesced.
+    """
+    explicit = request.get("coalesce_key")
+    if explicit is not None:
+        return f"explicit:{explicit}"
+    op = request.get("op")
+    if op not in ("compile", "run") or "source" not in request:
+        return None
+    try:
+        options = build_options(request.get("options"))
+        if request.get("verify") and not options.verify:
+            options = dataclasses.replace(options, verify=True)
+        key = cache_key(request["source"], options)
+    except Exception:
+        return None  # malformed request: let execution report the error
+    if op == "compile":
+        # `verify` is deliberately outside cache_key (a verified and an
+        # unverified compile produce the same artifact) but their
+        # *responses* differ, so it must split the fingerprint.
+        return f"compile:{key}:v{int(options.verify)}"
+    return (f"run:{key}:v{int(options.verify)}:{request.get('pes')}"
+            f":{request.get('model')}:{request.get('exec')}")
 
 
 def speedup_str(cycles: int, base: int) -> str:
@@ -310,8 +348,10 @@ def _dispatch(request: dict, cache: CompileCache | None) -> dict:
         payload["exit_code"] = result.exit_code(
             strict=bool(request.get("strict")))
         return payload
-    if op == "_sleep":  # test/ops hook: a slow job
+    if op == "_sleep":  # test/ops hook: a slow (optionally failing) job
         time.sleep(float(request.get("seconds", 1.0)))
+        if request.get("fail"):
+            raise RuntimeError("_sleep failed as requested")
         return {"slept": float(request.get("seconds", 1.0))}
     if op == "_crash":  # test/ops hook: a worker that dies mid-job
         marker = request.get("once")

@@ -53,6 +53,7 @@ class LatencyStat:
             "mean": self.total / self.count,
             "p50": percentile(self.samples, 50),
             "p95": percentile(self.samples, 95),
+            "p99": percentile(self.samples, 99),
             "max": self.peak,
         }
 
@@ -71,7 +72,17 @@ class ServiceMetrics:
         self.retries = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Singleflight coalescing: a *hit* is a request served as a
+        #: waiter on another request's in-flight work; a *leader* paid
+        #: for the work itself (only coalescable requests are counted).
+        self.coalesced_hits = 0
+        self.coalesced_leaders = 0
+        #: Admission control: requests bounced with an ``Overloaded``
+        #: error, and the deepest the admission queue ever got.
+        self.rejected = 0
+        self.queue_peak = 0
         self.per_op: dict[str, int] = {}
+        self.per_tenant: dict[str, int] = {}
         self.latency = {name: LatencyStat() for name in self.STATS}
         #: Per-compiler-pass wall time, folded from each response's
         #: ``pipeline`` trace (cache hits replay the original compile's
@@ -121,11 +132,38 @@ class ServiceMetrics:
         with self._lock:
             self.retries += 1
 
+    def count_coalesced(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.coalesced_hits += 1
+            else:
+                self.coalesced_leaders += 1
+
+    def count_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def count_tenant(self, tenant: str) -> None:
+        with self._lock:
+            self.per_tenant[tenant] = self.per_tenant.get(tenant, 0) + 1
+
+    def note_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            if depth > self.queue_peak:
+                self.queue_peak = depth
+
+    def mean_latency(self, name: str = "total") -> float | None:
+        """O(1) mean of a latency series (retry-after estimation)."""
+        with self._lock:
+            stat = self.latency[name]
+            return (stat.total / stat.count) if stat.count else None
+
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
         with self._lock:
             lookups = self.cache_hits + self.cache_misses
+            flights = self.coalesced_hits + self.coalesced_leaders
             return {
                 "requests": self.requests,
                 "errors": self.errors,
@@ -133,11 +171,22 @@ class ServiceMetrics:
                 "verify_failures": self.verify_failures,
                 "retries": self.retries,
                 "per_op": dict(self.per_op),
+                "per_tenant": dict(self.per_tenant),
                 "cache": {
                     "hits": self.cache_hits,
                     "misses": self.cache_misses,
                     "hit_rate": (self.cache_hits / lookups) if lookups
                                 else None,
+                },
+                "singleflight": {
+                    "hits": self.coalesced_hits,
+                    "leaders": self.coalesced_leaders,
+                    "hit_rate": (self.coalesced_hits / flights) if flights
+                                else None,
+                },
+                "admission": {
+                    "rejected": self.rejected,
+                    "queue_peak": self.queue_peak,
                 },
                 "latency_seconds": {name: stat.snapshot()
                                     for name, stat in self.latency.items()},
@@ -159,6 +208,21 @@ class ServiceMetrics:
             f"cache    {cache['hits']} hits / {cache['misses']} misses "
             f"(hit rate {rate})",
         ]
+        flight = snap["singleflight"]
+        if flight["hits"] or flight["leaders"]:
+            lines.append(
+                f"coalesce {flight['hits']} hits / "
+                f"{flight['leaders']} leaders "
+                f"(hit rate {flight['hit_rate']:.1%})")
+        admission = snap["admission"]
+        if admission["rejected"] or admission["queue_peak"]:
+            lines.append(
+                f"admission {admission['rejected']} rejected, "
+                f"queue peak {admission['queue_peak']}")
+        if snap["per_tenant"]:
+            tenants = "  ".join(f"{name}={count}" for name, count
+                                in sorted(snap["per_tenant"].items()))
+            lines.append(f"tenants  {tenants}")
         for name in self.STATS:
             stat = snap["latency_seconds"][name]
             if stat["count"]:

@@ -12,19 +12,33 @@ semaphore, and a worker that dies inside that critical section (its
 feeder thread mid-``put`` when the process is killed) leaves the
 semaphore acquired forever, wedging every other worker's sends.  With
 one single-writer pipe per worker, a dying worker can corrupt only its
-own channel, which the parent drains and replaces at respawn.  This
-lets the parent:
+own channel, which the parent drains and replaces at respawn.
 
-* enforce a **per-job timeout** — the worker is terminated and replaced,
-  the job answered with a ``JobTimeout`` error, the rest of the batch
-  unaffected;
-* **retry once on crash** — a worker that dies mid-job (OOM, hard
+Scheduling runs on one persistent **dispatcher thread** with a
+submission inbox, so any number of caller threads (and the asyncio
+server's event loop) can :meth:`WorkerPool.submit` jobs concurrently
+and all of them fan out across the workers together — the old design
+serialized whole ``map()`` calls behind a lock, so two connections
+could never use two workers at once.  The dispatcher:
+
+* enforces a **per-job timeout** — the worker is terminated and
+  replaced, the job answered with a ``JobTimeout`` error, everything
+  else unaffected;
+* **retries once on crash** — a worker that dies mid-job (OOM, hard
   fault, ``os._exit``) is respawned and the job reassigned; a second
   crash returns a ``WorkerCrash`` error instead of looping;
-* fall back **gracefully to a single process** — with ``workers <= 1``,
-  under ``REPRO_SERVICE_INPROC=1``, or when process creation fails,
-  jobs run inline through the exact same request path (timeouts are
-  then advisory only).
+* prefers **cache-warm workers** — a job submitted with an affinity
+  key is routed to an idle worker that recently ran the same key, so
+  its in-process memo tier (not just the shared disk store) is warm;
+* falls back **gracefully to threads** — with ``workers <= 1``, under
+  ``REPRO_SERVICE_INPROC=1``, or when process creation fails, jobs run
+  on an in-process thread executor through the exact same request path
+  (timeouts are then advisory only).
+
+``workers=0`` (or ``None``) sizes the pool from ``os.cpu_count()``,
+and workers warm-start: they import the whole compiler pipeline before
+accepting their first job, so a cold pool doesn't pay import latency
+inside the first request's measured window.
 
 Workers coordinate through the on-disk compile cache, not through
 memory: each opens a :class:`~repro.service.cache.CompileCache` on the
@@ -35,9 +49,12 @@ every other — and for every later serving run.
 from __future__ import annotations
 
 import collections
+import concurrent.futures
+import itertools
 import multiprocessing
 import multiprocessing.connection
 import os
+import socket
 import threading
 import time
 
@@ -45,12 +62,27 @@ from .cache import CompileCache, default_cache
 from .jobs import execute_request
 from .metrics import ServiceMetrics
 
-_POLL_SECONDS = 0.05
+#: Idle wait between dispatcher sweeps when nothing is due sooner.
+#: Results, submissions, and worker deaths all wake the dispatcher
+#: immediately (pipe readability / the wake socket), so this only
+#: bounds how late a stale ``is_alive`` sweep can run.
+_MAX_WAIT = 0.5
+
+#: Per-worker affinity memory: how many recent job keys each worker is
+#: considered "warm" for when routing new submissions.
+_AFFINITY_ENTRIES = 32
 
 
 def _worker_main(worker_id: int, task_r, result_w,
                  cache_root: str | None) -> None:
     """One worker process: pull jobs until the ``None`` sentinel."""
+    try:
+        # Warm start: pay the compiler-pipeline imports before the
+        # first job is assigned (a no-op under the fork start method,
+        # the whole point under spawn).
+        from ..driver import compiler as _compiler  # noqa: F401
+    except Exception:
+        pass
     cache = CompileCache(cache_root) if cache_root else None
     while True:
         try:
@@ -59,31 +91,43 @@ def _worker_main(worker_id: int, task_r, result_w,
             return  # parent closed the pipe (or died): shut down
         if item is None:
             return
-        job_id, request = item
+        serial, request = item
         response = execute_request(request, cache)
         try:
-            result_w.send(("done", job_id, worker_id, response))
+            result_w.send(("done", serial, worker_id, response))
         except (EOFError, OSError):
             return
 
 
 class _Job:
-    __slots__ = ("request", "first_submit", "start", "worker", "attempts",
-                 "response")
+    __slots__ = ("serial", "request", "affinity", "future",
+                 "first_submit", "start", "worker", "attempts")
 
-    def __init__(self, request: dict, now: float) -> None:
+    def __init__(self, serial: int, request: dict, affinity: str | None,
+                 now: float) -> None:
+        self.serial = serial
         self.request = request
+        self.affinity = affinity
+        self.future: concurrent.futures.Future = concurrent.futures.Future()
         self.first_submit = now
         self.start: float | None = None   # last assignment time
         self.worker: int | None = None
         self.attempts = 0
-        self.response: dict | None = None
+
+
+def _resolve(future: concurrent.futures.Future, response: dict) -> None:
+    """Complete a job future; tolerate abandoned (cancelled) waiters."""
+    try:
+        future.set_result(response)
+    except concurrent.futures.InvalidStateError:
+        pass
 
 
 class WorkerPool:
-    """Schedules service requests over worker processes (or inline)."""
+    """Schedules service requests over worker processes (or threads)."""
 
-    def __init__(self, workers: int = 1, *, timeout: float | None = None,
+    def __init__(self, workers: int | None = None, *,
+                 timeout: float | None = None,
                  retries: int = 1,
                  cache: CompileCache | str | bool | None = None,
                  metrics: ServiceMetrics | None = None) -> None:
@@ -99,8 +143,17 @@ class WorkerPool:
         else:
             self.cache = None
         self._cache_root = self.cache.root if self.cache else None
-        self._lock = threading.Lock()
+        if workers is None or int(workers) <= 0:
+            workers = os.cpu_count() or 1
         self.workers = max(1, int(workers))
+        self.jobs_dispatched = 0
+        self.affinity_hits = 0
+        self._serial = itertools.count()
+        self._inbox: collections.deque[_Job] = collections.deque()
+        self._inbox_lock = threading.Lock()
+        self._closing = False
+        self._inline_executor: concurrent.futures.ThreadPoolExecutor | \
+            None = None
         self._procs: list = []
         self.mode = "inline"
         if (self.workers > 1
@@ -120,6 +173,13 @@ class WorkerPool:
             self._procs = [None] * self.workers
             for i in range(self.workers):
                 self._procs[i] = self._spawn(i)
+            self._wake_r, self._wake_w = socket.socketpair()
+            self._wake_r.setblocking(False)
+            self._wake_w.setblocking(False)
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, daemon=True,
+                name="repro-pool-dispatcher")
+            self._dispatcher.start()
             self.mode = "pool"
         except Exception:
             # No fork/spawn available (restricted sandbox): run inline.
@@ -157,7 +217,7 @@ class WorkerPool:
                     pass
         self._procs[worker_id] = self._spawn(worker_id)
 
-    def _drain(self, worker_id: int) -> list:
+    def _drain_results(self, worker_id: int) -> list:
         """Salvage complete responses a dead worker left in its pipe."""
         conn = self._result_rs[worker_id]
         messages = []
@@ -173,8 +233,15 @@ class WorkerPool:
     def close(self) -> None:
         """Stop every worker; the pool cannot be used afterwards."""
         if self.mode != "pool":
+            if self._inline_executor is not None:
+                self._inline_executor.shutdown(wait=True)
+                self._inline_executor = None
             self.mode = "closed"
             return
+        with self._inbox_lock:
+            self._closing = True
+        self._wake()
+        self._dispatcher.join(timeout=5.0)
         for task_w, proc in zip(self._task_ws, self._procs):
             if proc.is_alive():
                 try:
@@ -192,6 +259,11 @@ class WorkerPool:
                     conn.close()
                 except OSError:
                     pass
+        for sock in (self._wake_r, self._wake_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
         self.mode = "closed"
 
     def __enter__(self) -> "WorkerPool":
@@ -200,7 +272,44 @@ class WorkerPool:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    # -- execution ------------------------------------------------------
+    # -- submission -----------------------------------------------------
+
+    def submit(self, request: dict, *,
+               affinity: str | None = None) -> concurrent.futures.Future:
+        """Enqueue one request; the future resolves to its response.
+
+        Thread-safe and non-blocking: submissions from any number of
+        threads interleave across the workers.  ``affinity`` is an
+        opaque key — identical keys are routed to the same worker when
+        one is idle, so its in-process cache-memo tier stays warm.
+        """
+        if self.mode == "closed":
+            raise RuntimeError("pool is closed")
+        if self.mode == "inline":
+            return self._inline_submit(request)
+        job = _Job(next(self._serial), request, affinity, time.monotonic())
+        with self._inbox_lock:
+            if self._closing:
+                raise RuntimeError("pool is closed")
+            self._inbox.append(job)
+        self._wake()
+        return job.future
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\0")
+        except (BlockingIOError, OSError):
+            pass  # wake already pending (or pool torn down)
+
+    def _inline_submit(self, request: dict) -> concurrent.futures.Future:
+        with self._inbox_lock:
+            if self._inline_executor is None:
+                self._inline_executor = \
+                    concurrent.futures.ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="repro-pool-inline")
+            executor = self._inline_executor
+        return executor.submit(self._run_inline, request)
 
     def execute(self, request: dict) -> dict:
         return self.map([request])[0]
@@ -208,40 +317,52 @@ class WorkerPool:
     def map(self, requests: list[dict]) -> list[dict]:
         """Run every request; responses in request order.
 
-        Thread-safe (the server calls this from handler threads); calls
-        serialize at the pool, jobs within a call run concurrently.
+        Thread-safe; jobs from concurrent ``map`` calls (and ``submit``
+        callers) all fan out across the workers together.
         """
-        with self._lock:
-            if self.mode == "closed":
-                raise RuntimeError("pool is closed")
-            if self.mode == "inline":
-                return [self._run_inline(r) for r in requests]
-            return self._run_pool(requests)
+        if self.mode == "closed":
+            raise RuntimeError("pool is closed")
+        if self.mode == "inline":
+            return [self._run_inline(r) for r in requests]
+        futures = [self.submit(r, affinity=self._affinity_of(r))
+                   for r in requests]
+        return [f.result() for f in futures]
+
+    def _affinity_of(self, request: dict) -> str | None:
+        if self.cache is None:
+            return None
+        from .jobs import request_fingerprint
+
+        return request_fingerprint(request)
 
     def _run_inline(self, request: dict) -> dict:
         t0 = time.monotonic()
         response = execute_request(request, self.cache)
         total = time.monotonic() - t0
+        self.jobs_dispatched += 1
         response["pool"] = {"mode": "inline", "attempts": 1,
                             "queue_wait_seconds": 0.0,
                             "total_seconds": total}
         self.metrics.observe(response, queue_wait=0.0, total=total)
         return response
 
-    # -- the multi-process scheduler -----------------------------------
+    def info(self) -> dict:
+        """The pool block of the ``stats`` response."""
+        return {"mode": self.mode, "workers": self.workers,
+                "timeout": self.timeout,
+                "jobs_dispatched": self.jobs_dispatched,
+                "affinity_hits": self.affinity_hits}
 
-    def _run_pool(self, requests: list[dict]) -> list[dict]:
-        now = time.monotonic()
-        jobs = {i: _Job(r, now) for i, r in enumerate(requests)}
-        unfinished = set(jobs)
-        pending = collections.deque(range(len(requests)))
-        assigned: dict[int, int] = {}          # worker id -> job id
+    # -- the dispatcher thread -----------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        pending: collections.deque[_Job] = collections.deque()
+        assigned: dict[int, _Job] = {}     # worker id -> job
         idle = set(range(self.workers))
+        recent: list[collections.OrderedDict] = [
+            collections.OrderedDict() for _ in range(self.workers)]
 
-        def finish(job_id: int, response: dict) -> None:
-            job = jobs[job_id]
-            job.response = response
-            unfinished.discard(job_id)
+        def finish(job: _Job, response: dict) -> None:
             total = time.monotonic() - job.first_submit
             wait = ((job.start - job.first_submit)
                     if job.start is not None else total)
@@ -251,57 +372,98 @@ class WorkerPool:
                 "queue_wait_seconds": wait, "total_seconds": total,
             }
             self.metrics.observe(response, queue_wait=wait, total=total)
+            _resolve(job.future, response)
 
         def deliver(msg) -> None:
-            _kind, job_id, worker_id, response = msg
+            _kind, serial, worker_id, response = msg
+            job = assigned.get(worker_id)
             # A stale answer (job already timed out, worker already
             # replaced) no longer matches the assignment: drop it.
-            if assigned.get(worker_id) == job_id:
+            if job is not None and job.serial == serial:
                 del assigned[worker_id]
                 idle.add(worker_id)
-                if job_id in unfinished:
-                    finish(job_id, response)
+                finish(job, response)
 
-        while unfinished:
+        def pick_worker(job: _Job) -> int:
+            if job.affinity is not None:
+                for worker_id in idle:
+                    if job.affinity in recent[worker_id]:
+                        self.affinity_hits += 1
+                        idle.discard(worker_id)
+                        return worker_id
+            return idle.pop()
+
+        while True:
+            with self._inbox_lock:
+                while self._inbox:
+                    pending.append(self._inbox.popleft())
+                closing = self._closing
+            if closing:
+                for job in pending:
+                    job.future.set_exception(RuntimeError("pool is closed"))
+                for job in assigned.values():
+                    job.future.set_exception(RuntimeError("pool is closed"))
+                return
             while pending and idle:
-                worker_id = idle.pop()
-                job_id = pending.popleft()
-                job = jobs[job_id]
+                job = pending.popleft()
+                if job.future.cancelled():
+                    continue  # the waiter gave up while queued
+                worker_id = pick_worker(job)
                 job.start = time.monotonic()
                 job.worker = worker_id
                 try:
-                    self._task_ws[worker_id].send((job_id, job.request))
+                    self._task_ws[worker_id].send((job.serial, job.request))
                 except (EOFError, OSError):
-                    # Worker died while idle: requeue (no attempt burnt),
-                    # leave it out of the idle set for the crash sweep.
-                    pending.appendleft(job_id)
+                    # Worker died while idle: requeue (no attempt
+                    # burnt); the crash sweep respawns the worker.
+                    pending.appendleft(job)
                     job.start = None
                     job.worker = None
                     continue
-                assigned[worker_id] = job_id
+                assigned[worker_id] = job
+                self.jobs_dispatched += 1
+                if job.affinity is not None:
+                    memory = recent[worker_id]
+                    memory[job.affinity] = True
+                    memory.move_to_end(job.affinity)
+                    while len(memory) > _AFFINITY_ENTRIES:
+                        memory.popitem(last=False)
+            conns = [c for c in self._result_rs if c is not None]
+            conns.append(self._wake_r)
             try:
                 ready = multiprocessing.connection.wait(
-                    [c for c in self._result_rs if c is not None],
-                    timeout=_POLL_SECONDS)
+                    conns, timeout=self._wait_timeout(assigned))
             except OSError:
                 ready = []
             for conn in ready:
+                if conn is self._wake_r:
+                    try:
+                        while self._wake_r.recv(4096):
+                            pass
+                    except (BlockingIOError, OSError):
+                        pass
+                    continue
                 try:
                     msg = conn.recv()
                 except (EOFError, OSError):
                     continue  # dead worker: the crash sweep handles it
                 deliver(msg)
-            self._reap_timeouts(jobs, assigned, idle, finish)
-            self._reap_crashes(jobs, pending, assigned, idle, deliver,
-                               finish)
-        return [jobs[i].response for i in range(len(requests))]
+            self._reap_timeouts(assigned, idle, finish)
+            self._reap_crashes(pending, assigned, idle, deliver, finish)
 
-    def _reap_timeouts(self, jobs, assigned, idle, finish) -> None:
+    def _wait_timeout(self, assigned: dict[int, _Job]) -> float:
+        if not self.timeout or not assigned:
+            return _MAX_WAIT
+        now = time.monotonic()
+        deadline = min(job.start + self.timeout
+                       for job in assigned.values())
+        return max(0.0, min(_MAX_WAIT, deadline - now))
+
+    def _reap_timeouts(self, assigned, idle, finish) -> None:
         if not self.timeout:
             return
         now = time.monotonic()
-        for worker_id, job_id in list(assigned.items()):
-            job = jobs[job_id]
+        for worker_id, job in list(assigned.items()):
             if now - job.start <= self.timeout:
                 continue
             # The job gets a timeout answer, not a retry (it would just
@@ -310,38 +472,36 @@ class WorkerPool:
             self._respawn(worker_id)
             del assigned[worker_id]
             idle.add(worker_id)
-            finish(job_id, {
+            finish(job, {
                 "op": job.request.get("op"), "ok": False,
                 "error": {"type": "JobTimeout",
                           "message": f"job exceeded {self.timeout:.1f}s "
                                      f"(attempt {job.attempts + 1})"}})
 
-    def _reap_crashes(self, jobs, pending, assigned, idle, deliver,
+    def _reap_crashes(self, pending, assigned, idle, deliver,
                       finish) -> None:
         for worker_id, proc in enumerate(self._procs):
             if proc.is_alive():
                 continue
             # A worker that finished its job and then died left the
             # response in its pipe: deliver it rather than re-running.
-            for msg in self._drain(worker_id):
+            for msg in self._drain_results(worker_id):
                 deliver(msg)
-            job_id = assigned.pop(worker_id, None)
+            job = assigned.pop(worker_id, None)
             self._respawn(worker_id)
             idle.add(worker_id)
-            if job_id is None:
+            if job is None:
                 continue  # died idle: just replace it
-            job = jobs[job_id]
             job.attempts += 1
             if job.attempts <= self.retries:
                 self.metrics.count_retry()
                 job.start = None
                 job.worker = None
-                pending.append(job_id)
+                pending.append(job)
             else:
-                finish(job_id, {
+                finish(job, {
                     "op": job.request.get("op"), "ok": False,
                     "error": {"type": "WorkerCrash",
-                              "message": f"worker died "
-                                         f"{job.attempts + 1} times "
-                                         f"running this job (exit "
+                              "message": f"worker died {job.attempts} "
+                                         f"times running this job (exit "
                                          f"{proc.exitcode})"}})
