@@ -10,7 +10,15 @@ user-facing lint front end:
 * :mod:`.peac_verifier` — PEAC routine invariants (P5xx): register
   lifetimes, spill/restore pairing, chaining and dual-issue legality;
 * :mod:`.lint`          — ``repro lint``: frontend + semantic analysis
-  with source-located diagnostics (F0xx/S1xx errors, W2xx warnings).
+  with source-located diagnostics (F0xx/S1xx errors, W2xx warnings);
+* :mod:`.dataflow`      — CFG construction and the generic forward/
+  backward fixed-point solver (reaching defs, liveness, access
+  summaries) the two analyses below are built on;
+* :mod:`.racecheck`     — ``repro analyze``: parallel-semantics race
+  detection (R6xx) over the lowered program;
+* :mod:`.commaudit`     — ``repro analyze``: static communication-cost
+  audit (C7xx) over the transformed program, priced with the target's
+  network cost model.
 
 This package root stays import-light (diagnostics only); the verifier
 modules import the compiler layers they check, so pull them in lazily

@@ -1,0 +1,148 @@
+"""The ``repro analyze`` engine: lint + dataflow analyses, no execution.
+
+Runs the full lint battery first (``F``/``S``/``W`` codes), then — when
+the program actually compiles — lowers it, drives the transform
+pipeline with the two report-only analysis passes enabled, and folds
+their findings in:
+
+* the parallel-semantics race detector (:mod:`.racecheck`, ``R6xx``),
+  run on the *lowered* program so diagnostics point at source lines;
+* the static communication-cost auditor (:mod:`.commaudit`, ``C7xx``),
+  run on the *transformed* program — the same NIR the backend compiles
+  — and priced under the selected target's cost model so the static
+  totals reconcile with the runtime meters.
+
+Exit-code contract mirrors lint: 0 clean, 1 findings (2 under
+``--strict``), 2 errors or an internal analysis failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..frontend.directives import DirectiveError, parse_layout_directives
+from ..frontend.parser import parse_program
+from ..lowering.lower import lower_program
+from .diagnostics import Diagnostic
+from .lint import LintResult, format_text, lint_source
+
+
+def _sort_key(d: Diagnostic) -> tuple[str, int, int, str]:
+    return (d.file or "", d.line, d.col, d.code)
+
+
+@dataclass
+class AnalyzeResult:
+    """Lint diagnostics + analysis findings + the static comm report."""
+
+    lint: LintResult
+    comm: dict[str, object] | None = None
+    dataflow: dict[str, int] | None = None
+    internal_error: str | None = None
+
+    @property
+    def file(self) -> str | None:
+        return self.lint.file
+
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        return self.lint.diagnostics
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.lint.errors
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.lint.warnings
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.internal_error is not None:
+            return 2
+        return self.lint.exit_code(strict)
+
+    def to_dict(self) -> dict[str, object]:
+        payload = self.lint.to_dict()
+        payload["comm"] = self.comm
+        payload["dataflow"] = self.dataflow
+        payload["internal_error"] = self.internal_error
+        return payload
+
+
+def analyze_source(source: str, path: str | None = None, *,
+                   target: str = "cm2", model: str | None = None,
+                   pes: int | None = None) -> AnalyzeResult:
+    """Analyze Fortran source text; never raises on bad input.
+
+    Internal analysis failures (a bug in an analysis, an unknown target
+    name, …) are captured in ``internal_error`` and force exit code 2 —
+    never a traceback across the CLI/service boundary.
+    """
+    lint = lint_source(source, path)
+    result = AnalyzeResult(lint=lint)
+    if lint.errors:
+        return result  # analysis needs a compilable program
+    try:
+        _run_analyses(source, path, result, target, model, pes)
+    except Exception as exc:  # pragma: no cover - exercised via tests
+        result.internal_error = f"{type(exc).__name__}: {exc}"
+    lint.diagnostics.sort(key=_sort_key)
+    return result
+
+
+def _run_analyses(source: str, path: str | None, result: AnalyzeResult,
+                  target: str, model: str | None,
+                  pes: int | None) -> None:
+    from ..targets import get_model_factory, get_target, resolve_model
+    from ..transform.pipeline import Options, optimize
+    from .commaudit import cost_table
+
+    lowered = lower_program(parse_program(source))
+    transformed = optimize(lowered, Options(analyze=True))
+    race = transformed.report.racecheck
+    audit = transformed.report.commaudit
+
+    record = get_target(target)
+    cost_model = get_model_factory(resolve_model(record, model))(
+        pes if pes is not None else record.default_pes)
+    try:
+        layouts = parse_layout_directives(source)
+    except DirectiveError:
+        layouts = {}
+    result.comm = cost_table(audit, cost_model, layouts)
+    result.comm["target"] = record.name
+    result.dataflow = race.stats.to_dict() if race.stats else None
+
+    for d in (*race.diagnostics, *audit.diagnostics):
+        result.lint.diagnostics.append(
+            dataclasses.replace(d, file=path))
+
+
+def analyze_file(path: str, *, target: str = "cm2",
+                 model: str | None = None,
+                 pes: int | None = None) -> AnalyzeResult:
+    with open(path, encoding="utf-8") as f:
+        return analyze_source(f.read(), path, target=target, model=model,
+                              pes=pes)
+
+
+def format_analyze_text(result: AnalyzeResult) -> str:
+    """Human-readable report: diagnostics + the static comm table."""
+    lines = [format_text(result.lint)]
+    if result.internal_error is not None:
+        lines.append(f"internal error: {result.internal_error}")
+    if result.comm is not None:
+        c = result.comm
+        lines.append(
+            f"static comm [{c['target']}/{c['model']}, {c['n_pes']} PEs"
+            f"{'' if c['exact'] else ', lower bound'}]: "
+            f"{c['comm_cycles']} network cycles, "
+            f"{c['serial_host_cycles']} serialized host cycles")
+        for row in c["entries"]:
+            where = f"line {row['line']}" if row["line"] else "?"
+            trips = f" x{row['trips']}" if row["trips"] != 1 else ""
+            lines.append(
+                f"  {where}: {row['kind']} ({row['class']}) "
+                f"'{row['array']}'{trips} -> {row['cycles']} cycles")
+    return "\n".join(lines)

@@ -1,0 +1,431 @@
+"""Static communication-cost auditor (``C7xx`` diagnostics).
+
+The paper's network-cost model distinguishes cheap *grid* (NEWS)
+communication — CSHIFT-style nearest-neighbor traffic where only
+subgrid boundary columns cross the wire — from the general *router*,
+whose per-element tariff is an order of magnitude higher.  This module
+walks a (transformed) program, classifies every off-PE access into the
+same service classes the runtime meters charge, and prices each with
+the very formulas of :mod:`repro.machine.network` — so for a program
+with static control flow the audit's total reconciles exactly with
+``RunResult.stats.comm_cycles``, *before* anything executes.
+
+Classes:
+
+* ``shift``  — CSHIFT/EOSHIFT: grid network, boundary columns only.
+* ``grid``   — regular section copies and SPREAD: grid latency + per
+  element grid cost.
+* ``router`` — gathers and TRANSPOSE: router latency + per-element
+  router cost (the expensive class).
+* ``reduce`` — reduction combine trees.
+* ``serial`` — element-at-a-time front-end loops; these charge the
+  *host* meter at runtime, not the network, but the audit lists them
+  because they are where vectorizable communication hides.
+
+Diagnostics:
+
+* ``C701`` — a serialized element loop whose subscripts are a uniform
+  offset of the target's coordinates: a CSHIFT/EOSHIFT would serve the
+  access on the grid network (and vectorize the copy).
+* ``C702`` — a router-class gather: every element pays the router
+  tariff; if the access pattern is regular, restructuring it as shifts
+  or section copies moves it to the grid network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import nir
+from ..lowering.environment import Environment, LoweringError
+from ..sourceloc import SourceLoc
+from ..machine import network
+from ..machine.costs import CostModel
+from ..machine.geometry import Geometry, make_geometry
+from ..transform import regions as rg
+from ..transform.phases import PhaseClassifier, PhaseKind
+from .diagnostics import Diagnostic, warning
+
+#: Service class of each communication kind, mirroring the runtime.
+CLASS_OF = {
+    "cshift": "shift", "eoshift": "shift",
+    "copy": "grid", "spread": "grid",
+    "gather": "router", "transpose": "router",
+    "reduce": "reduce", "element": "serial",
+}
+
+#: Classes whose cycles land on the network meter at runtime.
+COMM_CLASSES = ("shift", "grid", "router", "reduce")
+
+
+@dataclass(frozen=True)
+class CommEntry:
+    """One statically-discovered communication (or serialized) access."""
+
+    kind: str                      # cshift/eoshift/transpose/spread/...
+    klass: str                     # shift/grid/router/reduce/serial
+    array: str | None              # array whose geometry prices the op
+    extents: tuple[int, ...]       # that array's declared extents
+    elements: int                  # element count for per-element terms
+    axis: int | None = None        # 1-based shift axis (shift class)
+    shift: int | None = None       # shift distance (shift class)
+    trips: int = 1                 # static loop-trip multiplier
+    exact: bool = True             # False under unresolved control flow
+    line: int | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind, "class": self.klass, "array": self.array,
+            "elements": self.elements, "axis": self.axis,
+            "shift": self.shift, "trips": self.trips,
+            "exact": self.exact, "line": self.line,
+        }
+
+
+@dataclass
+class CommAuditReport:
+    """Everything the static audit discovered (model-independent)."""
+
+    entries: list[CommEntry] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def exact(self) -> bool:
+        return all(e.exact for e in self.entries)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "entries": [e.to_dict() for e in self.entries],
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "exact": self.exact,
+        }
+
+
+class CommAuditor:
+    """Walks a program collecting :class:`CommEntry` records."""
+
+    def __init__(self, env: Environment,
+                 domains: dict[str, nir.Shape] | None = None) -> None:
+        self.env = env
+        self.domains: dict[str, nir.Shape] = (
+            domains if domains is not None else env.domains)
+        self.classifier = PhaseClassifier(env, self.domains)
+        self.report = CommAuditReport()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _extents(self, name: str) -> tuple[int, ...]:
+        try:
+            return self.env.lookup(name).extents
+        except LoweringError:
+            return ()
+
+    def _region(self, node: nir.AVar) -> rg.Region:
+        extents = self._extents(node.name)
+        if not extents:
+            return rg.unknown_region((1,))
+        return rg.region_of_field(node.field, extents, self.domains)
+
+    @staticmethod
+    def _primary_array(value: nir.Value) -> nir.AVar | None:
+        for node in nir.values.walk(value):
+            if isinstance(node, nir.AVar):
+                return node
+        return None
+
+    @staticmethod
+    def _const_int(value: nir.Value) -> int | None:
+        if isinstance(value, nir.Scalar):
+            try:
+                return int(value.rep)
+            except (TypeError, ValueError):
+                return None
+        return None
+
+    def _loc(self, clause: nir.MoveClause) -> SourceLoc | None:
+        if clause.loc is not None:
+            return clause.loc
+        # Normalize-extracted communication moves carry no clause loc;
+        # the expression nodes they wrap usually still do.
+        for value in (clause.src, clause.tgt, clause.mask):
+            for node in nir.values.walk(value):
+                if node.loc is not None:
+                    return node.loc
+        return None
+
+    def _line(self, clause: nir.MoveClause) -> int | None:
+        loc = self._loc(clause)
+        return loc.line if loc is not None else None
+
+    # -- the walk ----------------------------------------------------------
+
+    def audit(self, body: nir.Imperative) -> CommAuditReport:
+        self._walk(body, trips=1, exact=True)
+        return self.report
+
+    def _walk(self, node: nir.Imperative, trips: int, exact: bool) -> None:
+        if isinstance(node, (nir.Program, nir.WithDecl, nir.WithDomain)):
+            self._walk(node.body, trips, exact)
+        elif isinstance(node, nir.Sequentially):
+            for action in node.actions:
+                self._walk(action, trips, exact)
+        elif isinstance(node, nir.Concurrently):
+            for action in node.actions:
+                self._walk(action, trips, exact)
+        elif isinstance(node, nir.Do):
+            try:
+                count = nir.shapes.size(node.shape, self.domains)
+            except Exception:
+                count, exact = 1, False
+            self._walk(node.body, trips * max(1, count), exact)
+        elif isinstance(node, nir.While):
+            # Trip count unknowable statically: price one trip, inexact.
+            self._walk(node.body, trips, False)
+        elif isinstance(node, nir.IfThenElse):
+            self._walk(node.then, trips, False)
+            self._walk(node.els, trips, False)
+        elif isinstance(node, nir.Move):
+            self._move(node, trips, exact)
+        # Skip, CallStmt, RefOut/CopyOut: no network traffic of their own
+        # (subroutine bodies are inlined before lowering).
+
+    def _move(self, move: nir.Move, trips: int, exact: bool) -> None:
+        phase = self.classifier.classify(move)
+        if phase.kind is PhaseKind.COMM:
+            for clause in move.clauses:
+                self._comm_clause(clause, trips, exact)
+        elif phase.kind is PhaseKind.REDUCE:
+            for clause in move.clauses:
+                self._reduce_clause(clause, trips, exact)
+        elif phase.kind is PhaseKind.SERIAL:
+            for clause in move.clauses:
+                self._serial_clause(clause, trips, exact)
+        elif phase.kind is PhaseKind.CONTROL and len(move.clauses) > 1:
+            # Mixed multi-clause MOVE: classify each clause on its own.
+            for clause in move.clauses:
+                self._move(nir.Move((clause,)), trips, exact)
+        # COMPUTE phases are pure node work: no entry.
+
+    # -- clause handlers ---------------------------------------------------
+
+    def _comm_clause(self, clause: nir.MoveClause, trips: int,
+                     exact: bool) -> None:
+        from ..backend.cm2.fe_compiler import comm_kind
+        try:
+            kind = comm_kind(clause)
+        except ValueError:
+            return
+        src_avar = self._primary_array(clause.src)
+        tgt = clause.tgt if isinstance(clause.tgt, nir.AVar) else None
+        # Geometry source mirrors the runtime: the primary source array,
+        # the target for SPREAD (it prices the replicated shape).
+        geom_avar = tgt if kind == "spread" else (src_avar or tgt)
+        if geom_avar is None:
+            return
+        name = geom_avar.name
+        extents = self._extents(name)
+        axis: int | None = None
+        shift: int | None = None
+        elements = 0
+        if kind in ("cshift", "eoshift") and isinstance(clause.src,
+                                                        nir.FcnCall):
+            args = clause.src.args
+            dim_index = 2 if kind == "cshift" else 3
+            shift = self._const_int(args[1]) if len(args) > 1 else None
+            axis = (self._const_int(args[dim_index])
+                    if len(args) > dim_index else None)
+            if shift is None or axis is None:
+                axis, shift, exact = axis or 1, shift or 1, False
+        elif kind == "copy" and src_avar is not None:
+            region = self._region(src_avar)
+            elements = region.size()
+            exact = exact and region.exact
+        elif kind == "gather" and tgt is not None:
+            region = self._region(tgt)
+            elements = region.size()
+            exact = exact and region.exact
+        entry = CommEntry(kind, CLASS_OF[kind], name, extents, elements,
+                          axis, shift, trips, exact, self._line(clause))
+        self.report.entries.append(entry)
+        if kind == "gather":
+            self.report.diagnostics.append(warning(
+                "C702",
+                f"gather from '{src_avar.name if src_avar else name}' "
+                "uses the general router: every element pays "
+                "router latency and per-element tariff; a regular "
+                "access pattern restated as shifts or section copies "
+                "would ride the grid network instead",
+                self._loc(clause)))
+
+    def _reduce_clause(self, clause: nir.MoveClause, trips: int,
+                       exact: bool) -> None:
+        src_avar = self._primary_array(clause.src)
+        if src_avar is None:
+            return  # scalar-only reductions charge no network
+        extents = self._extents(src_avar.name)
+        self.report.entries.append(CommEntry(
+            "reduce", "reduce", src_avar.name, extents, 0,
+            None, None, trips, exact, self._line(clause)))
+
+    def _serial_clause(self, clause: nir.MoveClause, trips: int,
+                       exact: bool) -> None:
+        if not isinstance(clause.tgt, nir.AVar):
+            return  # scalar moves are plain host ops, not element loops
+        region = self._region(clause.tgt)
+        self.report.entries.append(CommEntry(
+            "element", "serial", clause.tgt.name,
+            self._extents(clause.tgt.name), region.size(),
+            None, None, trips, exact and region.exact,
+            self._line(clause)))
+        offsets = self._uniform_offsets(clause)
+        if offsets is not None and any(offsets):
+            desc = ", ".join(str(o) for o in offsets)
+            self.report.diagnostics.append(warning(
+                "C701",
+                f"serialized element loop over '{clause.tgt.name}' is a "
+                f"uniform-offset neighbor access (offsets {desc}); a "
+                "CSHIFT/EOSHIFT would serve it on the grid network and "
+                "vectorize the copy",
+                self._loc(clause)))
+
+    def _uniform_offsets(self, clause: nir.MoveClause
+                         ) -> tuple[int, ...] | None:
+        """Per-axis constant offsets of every source read of the target's
+        coordinates, or None when the pattern is not a uniform shift."""
+        tgt = clause.tgt
+        assert isinstance(tgt, nir.AVar)
+        if not isinstance(tgt.field, nir.Subscript):
+            return None
+        tindices = tgt.field.indices
+        offsets: list[int] | None = None
+        for node in nir.values.walk(clause.src):
+            if not isinstance(node, nir.AVar):
+                continue
+            if not isinstance(node.field, nir.Subscript):
+                return None
+            sindices = node.field.indices
+            if len(sindices) != len(tindices):
+                return None
+            this: list[int] = []
+            for axis, (t, s) in enumerate(zip(tindices, sindices), 1):
+                off = self._index_offset(t, s, axis)
+                if off is None:
+                    return None
+                this.append(off)
+            if offsets is None:
+                offsets = this
+            elif offsets != this:
+                return None  # mixed offsets: not one shift
+        return tuple(offsets) if offsets is not None else None
+
+    @staticmethod
+    def _index_offset(t: nir.Value, s: nir.Value,
+                      axis: int) -> int | None:
+        """Constant c with ``s = coord(t) + c``, or None if not provable.
+
+        Lowered FORALL bodies address the target through an IndexRange
+        and the source through ``local_under`` coordinate values; a
+        ``LocalUnder`` of the same axis *is* the target coordinate, so
+        ``b(local_under + 1)`` against target ``a(lo:hi)`` is offset +1.
+        """
+        def is_coord(v: nir.Value) -> bool:
+            if v == t:
+                return True
+            return (isinstance(v, nir.LocalUnder) and v.dim == axis
+                    and isinstance(t, (nir.IndexRange, nir.LocalUnder)))
+
+        if is_coord(s):
+            return 0
+        if isinstance(s, nir.Binary) and s.op in (nir.BinOp.ADD,
+                                                  nir.BinOp.SUB):
+            sign = 1 if s.op is nir.BinOp.ADD else -1
+            if is_coord(s.left) and isinstance(s.right, nir.Scalar):
+                try:
+                    return sign * int(s.right.rep)
+                except (TypeError, ValueError):
+                    return None
+            if (s.op is nir.BinOp.ADD and is_coord(s.right)
+                    and isinstance(s.left, nir.Scalar)):
+                try:
+                    return int(s.left.rep)
+                except (TypeError, ValueError):
+                    return None
+        return None
+
+
+def audit_program(body: nir.Imperative, env: Environment,
+                  domains: dict[str, nir.Shape] | None = None
+                  ) -> CommAuditReport:
+    """Collect the static communication entries of a program body."""
+    return CommAuditor(env, domains).audit(body)
+
+
+# ---------------------------------------------------------------------------
+# Pricing (model-dependent)
+# ---------------------------------------------------------------------------
+
+
+def _entry_cycles(entry: CommEntry, model: CostModel,
+                  geom: Geometry) -> int:
+    """Cycles for one trip of one entry — the runtime's exact formulas."""
+    if entry.klass == "shift":
+        return network.cshift_cycles(model, geom, entry.axis or 1,
+                                     entry.shift if entry.shift is not None
+                                     else 1)
+    if entry.kind == "transpose":
+        return network.transpose_cycles(model, geom)
+    if entry.kind == "spread":
+        return network.spread_cycles(model, geom)
+    if entry.kind == "copy":
+        return network.section_copy_cycles(model, geom, entry.elements,
+                                           regular=True)
+    if entry.kind == "gather":
+        per_pe = max(1, entry.elements // max(1, geom.pes_used))
+        return network.router_cycles(model, geom, elements_per_pe=per_pe)
+    if entry.klass == "reduce":
+        return network.reduction_cycles(model, geom)
+    if entry.klass == "serial":
+        return model.host_element_op * max(1, entry.elements)
+    raise ValueError(f"unknown entry kind {entry.kind!r}")
+
+
+def cost_table(report: CommAuditReport, model: CostModel,
+               layouts: dict[str, tuple[str, ...]] | None = None
+               ) -> dict[str, object]:
+    """Price the audit's entries under one cost model.
+
+    Returns the ``comm`` section of the analyze JSON report: a table row
+    per entry plus per-class and network totals.  ``layouts`` carries
+    any ``!layout:`` directives so geometries match the runtime's.
+    """
+    layouts = layouts or {}
+    rows: list[dict[str, object]] = []
+    by_class: dict[str, int] = {c: 0 for c in (*COMM_CLASSES, "serial")}
+    for entry in report.entries:
+        if entry.extents:
+            geom = make_geometry(entry.extents, model.n_pes,
+                                 layouts.get(entry.array or ""))
+        else:  # unknown array: a degenerate 1-element geometry
+            geom = make_geometry((1,), model.n_pes)
+        per_trip = _entry_cycles(entry, model, geom)
+        cycles = per_trip * entry.trips
+        by_class[entry.klass] += cycles
+        row = dict(entry.to_dict(), cycles_per_trip=per_trip,
+                   cycles=cycles)
+        rows.append(row)
+    comm_total = sum(by_class[c] for c in COMM_CLASSES)
+    return {
+        "model": model.name,
+        "n_pes": model.n_pes,
+        "entries": rows,
+        "by_class": by_class,
+        "comm_cycles": comm_total,
+        "serial_host_cycles": by_class["serial"],
+        "exact": report.exact,
+    }
+
+
+__all__ = [
+    "CLASS_OF", "COMM_CLASSES", "CommAuditReport", "CommAuditor",
+    "CommEntry", "audit_program", "cost_table",
+]

@@ -1,0 +1,505 @@
+"""Dataflow analysis over lowered NIR: CFG construction + fixed point.
+
+The lint layer (PR 3) is per-statement — it cannot see that a value
+flows around a loop or that two WHERE bodies write the same section.
+This module supplies the missing substrate: a control-flow graph built
+from an NIR imperative tree (basic blocks of straight-line MOVEs, edges
+from IF/WHILE/DO structure) and a generic forward/backward worklist
+solver over it, plus the three classic instances the analyses on top
+consume — reaching definitions, liveness, and per-statement array
+*section* access summaries (reusing the Region math of
+:mod:`repro.transform.regions` via :mod:`repro.transform.dependence`).
+
+The module is deliberately self-contained and fully type-annotated (it
+is the one corner of the tree checked under ``mypy --strict`` in CI);
+everything here is pure — no machine, no cost model, no mutation of the
+program being analyzed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Iterator, TypeVar
+
+from .. import nir
+from ..lowering.environment import Environment, LoweringError
+from ..sourceloc import SourceLoc
+from ..transform import regions as rg
+
+L = TypeVar("L")
+
+#: Statement roles: a ``stmt`` is an ordinary straight-line action; a
+#: ``branch`` holds an IF or WHILE condition (only its condition's reads
+#: belong to the statement); a ``loop`` heads a DO (its index variables
+#: are the writes).
+ROLES = ("stmt", "branch", "loop")
+
+
+@dataclass
+class Statement:
+    """One CFG-resident action with a stable whole-program id."""
+
+    sid: int
+    node: nir.Imperative
+    role: str = "stmt"
+    block: int = -1
+
+    @property
+    def loc(self) -> SourceLoc | None:
+        if isinstance(self.node, nir.Move):
+            for clause in self.node.clauses:
+                if clause.loc is not None:
+                    return clause.loc
+        return None
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of statements."""
+
+    bid: int
+    statements: list[Statement] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+
+class CFG:
+    """Control-flow graph of one NIR imperative tree.
+
+    ``entry`` and ``exit`` are synthetic empty blocks so every analysis
+    has a unique boundary node in each direction.
+    """
+
+    def __init__(self) -> None:
+        self.blocks: list[BasicBlock] = []
+        self.entry: int = self._new_block()
+        self.exit: int = -1  # patched by build_cfg
+        self._next_sid = 0
+
+    # -- construction ------------------------------------------------------
+
+    def _new_block(self) -> int:
+        bid = len(self.blocks)
+        self.blocks.append(BasicBlock(bid))
+        return bid
+
+    def _edge(self, a: int, b: int) -> None:
+        if b not in self.blocks[a].succs:
+            self.blocks[a].succs.append(b)
+            self.blocks[b].preds.append(a)
+
+    def _append(self, bid: int, node: nir.Imperative, role: str) -> Statement:
+        stmt = Statement(self._next_sid, node, role, bid)
+        self._next_sid += 1
+        self.blocks[bid].statements.append(stmt)
+        return stmt
+
+    # -- queries -----------------------------------------------------------
+
+    def statements(self) -> Iterator[Statement]:
+        for block in self.blocks:
+            yield from block.statements
+
+    @property
+    def n_statements(self) -> int:
+        return sum(len(b.statements) for b in self.blocks)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(b.succs) for b in self.blocks)
+
+
+def build_cfg(body: nir.Imperative) -> CFG:
+    """Build the CFG of an imperative tree (usually a lowered program).
+
+    ``Program``/``WITH_DECL``/``WITH_DOMAIN`` wrappers are transparent.
+    ``CONCURRENTLY`` groups stay single statements (their internal order
+    is the analyzed property, not a control-flow fact).
+    """
+    cfg = CFG()
+
+    def walk(node: nir.Imperative, cur: int) -> int:
+        if isinstance(node, (nir.Program, nir.WithDecl, nir.WithDomain)):
+            return walk(node.body, cur)
+        if isinstance(node, nir.Sequentially):
+            for action in node.actions:
+                cur = walk(action, cur)
+            return cur
+        if isinstance(node, nir.IfThenElse):
+            cfg._append(cur, node, "branch")
+            then_entry = cfg._new_block()
+            cfg._edge(cur, then_entry)
+            then_exit = walk(node.then, then_entry)
+            else_entry = cfg._new_block()
+            cfg._edge(cur, else_entry)
+            else_exit = walk(node.els, else_entry)
+            join = cfg._new_block()
+            cfg._edge(then_exit, join)
+            cfg._edge(else_exit, join)
+            return join
+        if isinstance(node, nir.While):
+            header = cfg._new_block()
+            cfg._edge(cur, header)
+            cfg._append(header, node, "branch")
+            body_entry = cfg._new_block()
+            cfg._edge(header, body_entry)
+            body_exit = walk(node.body, body_entry)
+            cfg._edge(body_exit, header)
+            after = cfg._new_block()
+            cfg._edge(header, after)
+            return after
+        if isinstance(node, nir.Do):
+            header = cfg._new_block()
+            cfg._edge(cur, header)
+            cfg._append(header, node, "loop")
+            body_entry = cfg._new_block()
+            cfg._edge(header, body_entry)
+            body_exit = walk(node.body, body_entry)
+            cfg._edge(body_exit, header)
+            after = cfg._new_block()
+            cfg._edge(header, after)
+            return after
+        if isinstance(node, nir.Skip):
+            return cur
+        # Straight-line statements: MOVE, CALL, CONCURRENTLY, REF/COPY_OUT.
+        cfg._append(cur, node, "stmt")
+        return cur
+
+    cfg.exit = walk(body, cfg.entry)
+    return cfg
+
+
+# ---------------------------------------------------------------------------
+# Access summaries (the section-precision instance)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """One array section touched by a statement."""
+
+    name: str
+    region: rg.Region
+    masked: bool = False
+
+    @property
+    def definite(self) -> bool:
+        """A write that certainly covers its whole region."""
+        return not self.masked and bool(self.region.is_full)
+
+
+@dataclass(frozen=True)
+class AccessSummary:
+    """The read/write footprint of one statement, section-precise."""
+
+    scalar_reads: frozenset[str]
+    scalar_writes: frozenset[str]
+    array_reads: tuple[ArrayAccess, ...]
+    array_writes: tuple[ArrayAccess, ...]
+    barrier: bool = False
+
+    @property
+    def written_names(self) -> frozenset[str]:
+        return self.scalar_writes | frozenset(
+            a.name for a in self.array_writes)
+
+    @property
+    def read_names(self) -> frozenset[str]:
+        return self.scalar_reads | frozenset(
+            a.name for a in self.array_reads)
+
+    def definite_writes(self) -> frozenset[str]:
+        """Names whose previous definitions this statement surely kills."""
+        return self.scalar_writes | frozenset(
+            a.name for a in self.array_writes if a.definite)
+
+
+class SummaryBuilder:
+    """Computes :class:`AccessSummary` records for CFG statements."""
+
+    def __init__(self, env: Environment,
+                 domains: dict[str, nir.Shape] | None = None) -> None:
+        self.env = env
+        self.domains: dict[str, nir.Shape] = (
+            domains if domains is not None else env.domains)
+
+    # -- helpers -----------------------------------------------------------
+
+    def region_of(self, name: str, fa: nir.FieldAction) -> rg.Region:
+        try:
+            sym = self.env.lookup(name)
+        except LoweringError:
+            return rg.unknown_region((1,))
+        return rg.region_of_field(fa, sym.extents, self.domains)
+
+    def _value(self, value: nir.Value, masked: bool,
+               sreads: set[str], areads: list[ArrayAccess]) -> None:
+        for node in nir.values.walk(value):
+            if isinstance(node, nir.SVar):
+                sreads.add(node.name)
+            elif isinstance(node, nir.AVar):
+                areads.append(ArrayAccess(
+                    node.name, self.region_of(node.name, node.field),
+                    masked))
+
+    # -- per-statement -----------------------------------------------------
+
+    def summary(self, stmt: Statement) -> AccessSummary:
+        sreads: set[str] = set()
+        swrites: set[str] = set()
+        areads: list[ArrayAccess] = []
+        awrites: list[ArrayAccess] = []
+        barrier = False
+        node = stmt.node
+
+        if stmt.role == "branch":
+            cond = (node.cond if isinstance(node, (nir.IfThenElse,
+                                                   nir.While)) else None)
+            if cond is not None:
+                self._value(cond, False, sreads, areads)
+        elif stmt.role == "loop" and isinstance(node, nir.Do):
+            swrites.update(node.index_names)
+        elif isinstance(node, nir.Move):
+            for clause in node.clauses:
+                masked = clause.mask != nir.TRUE
+                self._value(clause.mask, False, sreads, areads)
+                self._value(clause.src, masked, sreads, areads)
+                if isinstance(clause.tgt, nir.SVar):
+                    if masked:
+                        # A masked scalar store may leave the old value.
+                        sreads.add(clause.tgt.name)
+                    swrites.add(clause.tgt.name)
+                elif isinstance(clause.tgt, nir.AVar):
+                    awrites.append(ArrayAccess(
+                        clause.tgt.name,
+                        self.region_of(clause.tgt.name, clause.tgt.field),
+                        masked))
+                    if isinstance(clause.tgt.field, nir.Subscript):
+                        for idx in clause.tgt.field.indices:
+                            if not isinstance(idx, nir.IndexRange):
+                                self._value(idx, False, sreads, areads)
+        elif isinstance(node, nir.Concurrently):
+            for action in node.actions:
+                sub = self.summary(Statement(stmt.sid, action, "stmt"))
+                sreads |= sub.scalar_reads
+                swrites |= sub.scalar_writes
+                areads.extend(sub.array_reads)
+                awrites.extend(sub.array_writes)
+                barrier = barrier or sub.barrier
+        elif isinstance(node, nir.CallStmt):
+            for arg in node.args:
+                self._value(arg, False, sreads, areads)
+            barrier = True
+        elif isinstance(node, (nir.RefOut, nir.CopyOut)):
+            self._value(node.value, False, sreads, areads)
+        elif isinstance(node, nir.Skip):
+            pass
+        else:  # unmodelled constructs depend on everything
+            barrier = True
+
+        return AccessSummary(frozenset(sreads), frozenset(swrites),
+                             tuple(areads), tuple(awrites), barrier)
+
+
+def summarize(cfg: CFG, env: Environment,
+              domains: dict[str, nir.Shape] | None = None
+              ) -> dict[int, AccessSummary]:
+    """Access summaries for every statement in the CFG, keyed by sid."""
+    builder = SummaryBuilder(env, domains)
+    return {stmt.sid: builder.summary(stmt) for stmt in cfg.statements()}
+
+
+# ---------------------------------------------------------------------------
+# The generic solver
+# ---------------------------------------------------------------------------
+
+
+class Analysis(Generic[L]):
+    """One dataflow problem: lattice values of type ``L`` over sets.
+
+    Subclasses define the direction, the boundary value (at entry for
+    forward problems, at exit for backward ones), the optimistic initial
+    value, the join, and the per-statement transfer function.
+    """
+
+    direction: str = "forward"
+
+    def boundary(self) -> L:
+        raise NotImplementedError
+
+    def initial(self) -> L:
+        raise NotImplementedError
+
+    def join(self, a: L, b: L) -> L:
+        raise NotImplementedError
+
+    def transfer(self, stmt: Statement, value: L) -> L:
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowResult(Generic[L]):
+    """Fixed-point block states plus per-statement replay access."""
+
+    cfg: CFG
+    analysis: Analysis[L]
+    block_in: dict[int, L]
+    block_out: dict[int, L]
+    iterations: int
+
+    def before(self, stmt: Statement) -> L:
+        """The dataflow value holding just before ``stmt`` (program
+        order for forward problems, reverse order for backward ones)."""
+        block = self.cfg.blocks[stmt.block]
+        stmts = list(block.statements)
+        if self.analysis.direction == "backward":
+            stmts = list(reversed(stmts))
+            value = self.block_out[block.bid]
+        else:
+            value = self.block_in[block.bid]
+        for s in stmts:
+            if s.sid == stmt.sid:
+                return value
+            value = self.analysis.transfer(s, value)
+        raise KeyError(f"statement {stmt.sid} not in block {block.bid}")
+
+    def after(self, stmt: Statement) -> L:
+        return self.analysis.transfer(stmt, self.before(stmt))
+
+
+def solve(cfg: CFG, analysis: Analysis[L]) -> DataflowResult[L]:
+    """Worklist fixed point of ``analysis`` over ``cfg``.
+
+    Terminates for any monotone transfer over a finite lattice; the
+    instances here all work on finite powersets of program facts.
+    """
+    forward = analysis.direction != "backward"
+    n = len(cfg.blocks)
+    start = cfg.entry if forward else cfg.exit
+    block_in: dict[int, L] = {}
+    block_out: dict[int, L] = {}
+    for bid in range(n):
+        block_in[bid] = analysis.initial()
+        block_out[bid] = analysis.initial()
+
+    def preds_of(bid: int) -> list[int]:
+        return cfg.blocks[bid].preds if forward else cfg.blocks[bid].succs
+
+    def transfer_block(bid: int, value: L) -> L:
+        stmts = cfg.blocks[bid].statements
+        ordered = stmts if forward else list(reversed(stmts))
+        for stmt in ordered:
+            value = analysis.transfer(stmt, value)
+        return value
+
+    worklist = list(range(n))
+    iterations = 0
+    while worklist:
+        bid = worklist.pop(0)
+        iterations += 1
+        if bid == start:
+            incoming = analysis.boundary()
+        else:
+            incoming = analysis.initial()
+            for p in preds_of(bid):
+                incoming = analysis.join(
+                    incoming, block_out[p] if forward else block_in[p])
+        changed = incoming != (block_in[bid] if forward
+                               else block_out[bid])
+        if forward:
+            block_in[bid] = incoming
+        else:
+            block_out[bid] = incoming
+        outgoing = transfer_block(bid, incoming)
+        out_slot = block_out if forward else block_in
+        if outgoing != out_slot[bid] or changed:
+            out_slot[bid] = outgoing
+            nexts = (cfg.blocks[bid].succs if forward
+                     else cfg.blocks[bid].preds)
+            for s in nexts:
+                if s not in worklist:
+                    worklist.append(s)
+    return DataflowResult(cfg, analysis, block_in, block_out, iterations)
+
+
+# ---------------------------------------------------------------------------
+# Classic instances
+# ---------------------------------------------------------------------------
+
+
+#: One reaching definition: (variable name, defining statement id).
+Definition = tuple[str, int]
+
+
+class ReachingDefinitions(Analysis[frozenset[Definition]]):
+    """Forward may-analysis: which definitions reach each point.
+
+    Array writes kill previous definitions only when *definite* — an
+    unmasked store to the full region; masked or sectioned stores merely
+    add a definition (the older one may survive in other elements).
+    """
+
+    direction = "forward"
+
+    def __init__(self, summaries: dict[int, AccessSummary]) -> None:
+        self.summaries = summaries
+
+    def boundary(self) -> frozenset[Definition]:
+        return frozenset()
+
+    def initial(self) -> frozenset[Definition]:
+        return frozenset()
+
+    def join(self, a: frozenset[Definition],
+             b: frozenset[Definition]) -> frozenset[Definition]:
+        return a | b
+
+    def transfer(self, stmt: Statement,
+                 value: frozenset[Definition]) -> frozenset[Definition]:
+        summary = self.summaries[stmt.sid]
+        kills = summary.definite_writes()
+        gens = frozenset((name, stmt.sid)
+                         for name in summary.written_names)
+        if not kills and not gens:
+            return value
+        return frozenset((name, sid) for name, sid in value
+                         if name not in kills) | gens
+
+
+class Liveness(Analysis[frozenset[str]]):
+    """Backward may-analysis: names whose value may still be read."""
+
+    direction = "backward"
+
+    def __init__(self, summaries: dict[int, AccessSummary],
+                 live_out: frozenset[str] = frozenset()) -> None:
+        self.summaries = summaries
+        self.live_out = live_out
+
+    def boundary(self) -> frozenset[str]:
+        return self.live_out
+
+    def initial(self) -> frozenset[str]:
+        return frozenset()
+
+    def join(self, a: frozenset[str], b: frozenset[str]) -> frozenset[str]:
+        return a | b
+
+    def transfer(self, stmt: Statement,
+                 value: frozenset[str]) -> frozenset[str]:
+        summary = self.summaries[stmt.sid]
+        return (value - summary.definite_writes()) | summary.read_names
+
+
+@dataclass(frozen=True)
+class DataflowStats:
+    """Shape of one CFG + solve, for reports and the analyze JSON."""
+
+    blocks: int
+    statements: int
+    edges: int
+    iterations: int
+
+    def to_dict(self) -> dict[str, int]:
+        return {"blocks": self.blocks, "statements": self.statements,
+                "edges": self.edges, "iterations": self.iterations}

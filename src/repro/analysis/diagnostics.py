@@ -7,7 +7,9 @@ Error-code namespaces:
 * ``W2xx`` — lint warnings (use-before-set, aliasing, unused),
 * ``V3xx`` — NIR verifier violations (level 1),
 * ``D4xx`` — dependence-audit violations (level 2),
-* ``P5xx`` — PEAC/VIR verifier violations (level 3).
+* ``P5xx`` — PEAC/VIR verifier violations (level 3),
+* ``R6xx`` — parallel-semantics races (dataflow race detector),
+* ``C7xx`` — communication-cost findings (static comm auditor).
 """
 
 from __future__ import annotations

@@ -123,7 +123,9 @@ def lint_source(source: str, path: str | None = None) -> LintResult:
                 add(Diagnostic(vmap.get(d.code, "S108"), d.message,
                                d.severity, d.loc, path))
 
-    result.diagnostics.sort(key=lambda d: (d.line, d.col, d.code))
+    # Deterministic emission order: golden tests and CI diffs key on it.
+    result.diagnostics.sort(
+        key=lambda d: (d.file or "", d.line, d.col, d.code))
     return result
 
 

@@ -1,0 +1,252 @@
+"""Parallel-semantics race detector (``R6xx`` diagnostics).
+
+Fortran 90 array statements have *vector* semantics: the whole right-
+hand side (and every mask) is evaluated before any element is stored.
+A scalarizing compiler — or a programmer reasoning statement-by-
+statement with an in-place element loop — uses *serialized* semantics.
+This detector flags the places where the two diverge, which is exactly
+where the paper's prototype needs compiler temporaries or ordered
+communication:
+
+* ``R601`` — an unmasked assignment reads its own target through an
+  overlapping-but-different section (``A(2:n) = A(1:n-1)``) or through
+  a communication intrinsic (``A = CSHIFT(A, 1)``): the right-hand side
+  needs the pre-store value, so a serialized in-place loop diverges.
+* ``R602`` — the masked form of the same conflict inside a WHERE or
+  FORALL body: a masked store whose source or mask loads the stored
+  array through a shifted/overlapping section.
+* ``R603`` — inter-statement write-write hazard within one fusable
+  group: two masked statements of the same shape-and-alignment class
+  (the blocking scheduler may fuse them into one multi-clause MOVE)
+  store overlapping sections of one array under masks that cannot be
+  proven disjoint — correct only because clause order is preserved,
+  a latent race under unordered parallel execution.
+
+All three are warnings; the detector runs over *lowered* NIR (before
+any transform) so diagnostics carry the original source locations.  It
+is deliberately conservative: a program with no ``R6xx`` diagnostic is
+claimed to produce bit-identical results under vector and serialized
+execution — the differential-oracle property test in
+``tests/test_analyze.py`` checks that claim against the real engines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from .. import nir
+from ..frontend import intrinsics as intr
+from ..lowering.environment import Environment, LoweringError
+from ..sourceloc import SourceLoc
+from ..transform import regions as rg
+from ..transform.phases import PhaseClassifier, PhaseKind
+from .dataflow import (CFG, AccessSummary, DataflowStats,
+                       ReachingDefinitions, Statement, build_cfg, solve,
+                       summarize)
+from .diagnostics import Diagnostic, warning
+
+
+@dataclass
+class RacecheckReport:
+    """Race diagnostics plus the dataflow shape that produced them."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    stats: DataflowStats | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "dataflow": self.stats.to_dict() if self.stats else None,
+        }
+
+
+def check_program(program: nir.Imperative, env: Environment,
+                  domains: dict[str, nir.Shape] | None = None
+                  ) -> RacecheckReport:
+    """Run the race detector over a lowered program body."""
+    report = RacecheckReport()
+    domains = domains if domains is not None else env.domains
+    cfg = build_cfg(program)
+    summaries = summarize(cfg, env, domains)
+    # The reaching-definitions fixed point names, per statement, the
+    # statements whose stores may still be visible — R601/R602 only fire
+    # when the conflicting array is actually defined on some path (an
+    # undefined read is W201's business, not a race).
+    reaching = solve(cfg, ReachingDefinitions(summaries))
+    report.stats = DataflowStats(
+        blocks=len(cfg.blocks), statements=cfg.n_statements,
+        edges=cfg.n_edges, iterations=reaching.iterations)
+
+    for stmt in cfg.statements():
+        if isinstance(stmt.node, nir.Move) and stmt.role == "stmt":
+            defined = {name for name, _sid in reaching.before(stmt)}
+            for clause in stmt.node.clauses:
+                _check_clause(clause, env, domains, defined, report)
+
+    _check_write_write(cfg, env, domains, summaries, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# R601 / R602: RHS-read vs LHS-write conflicts in one statement
+# ---------------------------------------------------------------------------
+
+
+def _target_reads(value: nir.Value,
+                  name: str) -> Iterator[tuple[nir.AVar, bool]]:
+    """(node, via_comm) for each read of array ``name`` inside ``value``.
+
+    ``via_comm`` marks reads that happen through a communication
+    intrinsic (CSHIFT and friends): those observe *other* elements of
+    the array than the ones aligned with the store, so they conflict
+    even when the section regions are equal.
+    """
+    def walk(v: nir.Value,
+             via_comm: bool) -> Iterator[tuple[nir.AVar, bool]]:
+        if isinstance(v, nir.AVar) and v.name == name:
+            yield v, via_comm
+        comm = (isinstance(v, nir.FcnCall)
+                and v.name.lower() in intr.COMMUNICATION)
+        for child in nir.values.children(v):
+            yield from walk(child, via_comm or comm)
+    yield from walk(value, False)
+
+
+def _check_clause(clause: nir.MoveClause, env: Environment,
+                  domains: dict[str, nir.Shape], defined: set[str],
+                  report: RacecheckReport) -> None:
+    if not isinstance(clause.tgt, nir.AVar):
+        return
+    name = clause.tgt.name
+    if name not in defined:
+        return
+    try:
+        sym = env.lookup(name)
+    except LoweringError:
+        return
+    tregion = rg.region_of_field(clause.tgt.field, sym.extents, domains)
+    masked = clause.mask != nir.TRUE
+    for value in (clause.src, clause.mask):
+        for node, via_comm in _target_reads(value, name):
+            sregion = rg.region_of_field(node.field, sym.extents, domains)
+            overlap_conflict = (rg.regions_overlap(tregion, sregion)
+                                and not rg.regions_equal(tregion, sregion))
+            if not (via_comm or overlap_conflict):
+                continue
+            loc = node.loc or clause.loc
+            how = ("through a communication intrinsic" if via_comm
+                   else "through an overlapping but different section")
+            if masked:
+                report.diagnostics.append(warning(
+                    "R602",
+                    f"masked store to '{name}' loads the same array "
+                    f"{how}; the vector semantics read the pre-store "
+                    "values, so a serialized masked loop diverges",
+                    loc))
+            else:
+                report.diagnostics.append(warning(
+                    "R601",
+                    f"assignment to '{name}' reads its own target {how}; "
+                    "vector semantics need the pre-assignment values (a "
+                    "compiler temporary), so a serialized in-place loop "
+                    "diverges",
+                    loc))
+            return  # one diagnostic per clause is enough
+
+
+# ---------------------------------------------------------------------------
+# R603: write-write hazards inside a fusable group
+# ---------------------------------------------------------------------------
+
+
+def _conjuncts(mask: nir.Value) -> list[nir.Value]:
+    if isinstance(mask, nir.Binary) and mask.op is nir.BinOp.AND:
+        return _conjuncts(mask.left) + _conjuncts(mask.right)
+    return [mask]
+
+
+def masks_disjoint(a: nir.Value, b: nir.Value) -> bool:
+    """Can the two masks be *proven* to never hold at the same point?
+
+    Two syntactic proofs are attempted, matching the patterns real
+    programs use (WHERE/ELSEWHERE chains, case-on-value updates):
+    a conjunct of one being the negation of a conjunct of the other,
+    and equality tests of one expression against different constants.
+    """
+    ca, cb = _conjuncts(a), _conjuncts(b)
+    for x in ca:
+        for y in cb:
+            if isinstance(x, nir.Unary) and x.op is nir.UnOp.NOT \
+                    and x.operand == y:
+                return True
+            if isinstance(y, nir.Unary) and y.op is nir.UnOp.NOT \
+                    and y.operand == x:
+                return True
+            if (isinstance(x, nir.Binary) and isinstance(y, nir.Binary)
+                    and x.op is nir.BinOp.EQ and y.op is nir.BinOp.EQ
+                    and x.left == y.left
+                    and isinstance(x.right, nir.Scalar)
+                    and isinstance(y.right, nir.Scalar)
+                    and x.right.rep != y.right.rep):
+                return True
+    return False
+
+
+def _masked_writes(move: nir.Move,
+                   name: str) -> Iterator[nir.MoveClause]:
+    for clause in move.clauses:
+        if isinstance(clause.tgt, nir.AVar) and clause.tgt.name == name \
+                and clause.mask != nir.TRUE:
+            yield clause
+
+
+def _check_write_write(cfg: CFG, env: Environment,
+                       domains: dict[str, nir.Shape],
+                       summaries: dict[int, AccessSummary],
+                       report: RacecheckReport) -> None:
+    classifier = PhaseClassifier(env, domains)
+    for block in cfg.blocks:
+        groups: dict[object, list[Statement]] = {}
+        for stmt in block.statements:
+            if not isinstance(stmt.node, nir.Move) or stmt.role != "stmt":
+                continue
+            phase = classifier.classify(stmt.node)
+            if phase.kind is PhaseKind.COMPUTE and phase.key is not None:
+                groups.setdefault(phase.key, []).append(stmt)
+        for stmts in groups.values():
+            for i, first in enumerate(stmts):
+                for second in stmts[i + 1:]:
+                    _check_pair(first, second, env, domains,
+                                summaries, report)
+
+
+def _check_pair(first: Statement, second: Statement, env: Environment,
+                domains: dict[str, nir.Shape],
+                summaries: dict[int, AccessSummary],
+                report: RacecheckReport) -> None:
+    a, b = summaries[first.sid], summaries[second.sid]
+    names = ({w.name for w in a.array_writes if w.masked}
+             & {w.name for w in b.array_writes if w.masked})
+    for name in sorted(names):
+        assert isinstance(first.node, nir.Move)
+        assert isinstance(second.node, nir.Move)
+        for ca in _masked_writes(first.node, name):
+            for cb in _masked_writes(second.node, name):
+                ra = [w.region for w in a.array_writes if w.name == name]
+                rb = [w.region for w in b.array_writes if w.name == name]
+                if not any(rg.regions_overlap(x, y)
+                           for x in ra for y in rb):
+                    continue
+                if masks_disjoint(ca.mask, cb.mask):
+                    continue
+                loc: SourceLoc | None = cb.loc or ca.loc
+                report.diagnostics.append(warning(
+                    "R603",
+                    f"masked stores to '{name}' from two statements of "
+                    "one fusable group overlap and their masks are not "
+                    "provably disjoint; the fused MOVE is order-"
+                    "sensitive (write-write race under unordered "
+                    "parallel execution)",
+                    loc))
+                return

@@ -10,6 +10,9 @@ Commands:
   vs the CM Fortran and \\*Lisp models;
 * ``lint`` — frontend + semantic analysis only, with source-located
   diagnostics (exit 0 clean, 1 warnings, 2 errors; ``--format=json``);
+* ``analyze`` — lint plus the dataflow analyses: parallel-semantics
+  race detection (R6xx) and a static communication-cost report priced
+  under the target's network model (C7xx; same exit-code contract);
 * ``serve`` — the asyncio JSON-lines compile-and-run service
   (persistent compile cache + worker pool + tenant-fair admission;
   see :mod:`repro.service`);
@@ -300,6 +303,8 @@ def cmd_compare(args) -> int:
 
 def cmd_lint(args) -> int:
     """Frontend + semantic analysis only; exit 0 clean / 1 warn / 2 err."""
+    if getattr(args, "analyze", False):
+        return cmd_analyze(args)
     from ..analysis.lint import format_text, lint_file, lint_source
 
     results = []
@@ -317,6 +322,35 @@ def cmd_lint(args) -> int:
     else:
         for r in results:
             print(format_text(r))
+    return max(r.exit_code(strict=args.strict) for r in results)
+
+
+def cmd_analyze(args) -> int:
+    """Lint + dataflow analyses + static comm report; lint exit codes."""
+    from ..analysis.analyze import (analyze_file, analyze_source,
+                                    format_analyze_text)
+
+    target = getattr(args, "target", "cm2")
+    model = getattr(args, "model", None)
+    pes = getattr(args, "pes", None)
+    results = []
+    for path in args.files:
+        if path == "-":
+            results.append(analyze_source(sys.stdin.read(), "<stdin>",
+                                          target=target, model=model,
+                                          pes=pes))
+        else:
+            results.append(analyze_file(path, target=target, model=model,
+                                        pes=pes))
+    if args.format == "json":
+        payload = [dict(r.to_dict(),
+                        exit_code=r.exit_code(strict=args.strict))
+                   for r in results]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2, sort_keys=True))
+    else:
+        for r in results:
+            print(format_analyze_text(r))
     return max(r.exit_code(strict=args.strict) for r in results)
 
 
@@ -423,7 +457,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="diagnostic output format (default: text)")
     p.add_argument("--strict", action="store_true",
                    help="treat warnings as errors (exit 2)")
+    p.add_argument("--analyze", action="store_true",
+                   help="also run the dataflow analyses (R6xx races, "
+                        "C7xx communication audit)")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("analyze",
+                       help="lint + dataflow analyses + static "
+                            "communication-cost report; exit 0 clean, "
+                            "1 findings, 2 errors")
+    p.add_argument("files", nargs="+", metavar="file",
+                   help="Fortran source file(s), or - for stdin")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report output format (default: text)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as errors (exit 2)")
+    p.add_argument("--target", default="cm2",
+                   help="target whose cost model prices the static "
+                        "communication table (default: cm2)")
+    p.add_argument("--model", default=None,
+                   help="cost model override (must be compatible with "
+                        "the target)")
+    p.add_argument("--pes", type=int, default=None,
+                   help="processing elements (default: the target's)")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("serve",
                        help="JSON-lines compile-and-run service")

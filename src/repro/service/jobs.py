@@ -19,6 +19,8 @@ grouping — see :mod:`repro.service.server`)::
      "pes": 2048, "model": "slicewise", "exec": "fast"}
     {"op": "compare", "source": "...", "targets": ["cm2", "host"]}
     {"op": "lint", "source": "...", "strict": false}
+    {"op": "analyze", "source": "...", "strict": false,
+     "target": "cm2", "model": null, "pes": null}
 
 A ``compare`` with a ``"targets"`` key (a list of registered target
 names, or ``"all"``) runs the cross-target comparison instead of the
@@ -344,6 +346,18 @@ def _dispatch(request: dict, cache: CompileCache | None) -> dict:
         from ..analysis.lint import lint_source
 
         result = lint_source(_source_of(request), request.get("file"))
+        payload = result.to_dict()
+        payload["exit_code"] = result.exit_code(
+            strict=bool(request.get("strict")))
+        return payload
+    if op == "analyze":
+        from ..analysis.analyze import analyze_source
+
+        result = analyze_source(
+            _source_of(request), request.get("file"),
+            target=request.get("target", "cm2"),
+            model=request.get("model"),
+            pes=request.get("pes"))
         payload = result.to_dict()
         payload["exit_code"] = result.exit_code(
             strict=bool(request.get("strict")))

@@ -1,7 +1,9 @@
 """The NIR transform pipeline, declared as registered passes.
 
 This module *is* the default pipeline: registration order defines the
-pass order (promote → normalize → pad_masks → dse → block → recheck),
+pass order (racecheck → promote → normalize → pad_masks → dse → block
+→ recheck → commaudit; the two analysis passes are report-only and off
+by default),
 each pass names the :class:`~repro.transform.pipeline.Options` switch
 that enables it, and ``config`` projects the option subset that changes
 its output (the compile cache keys on exactly that projection, so
@@ -42,6 +44,29 @@ def pipeline_identity(options) -> list[dict]:
 
 
 # -- pass bodies ------------------------------------------------------------
+
+
+def _run_racecheck(ctx: PassContext) -> nir.Imperative:
+    """Report-only: parallel-semantics race detection (``R6xx``).
+
+    Runs first — on the freshly lowered program — so its diagnostics
+    carry original source structure, before promotion rewrites loops.
+    """
+    from ..analysis.racecheck import check_program as racecheck_program
+    ctx.report.racecheck = racecheck_program(ctx.node, ctx.env)
+    return ctx.node
+
+
+def _run_commaudit(ctx: PassContext) -> nir.Imperative:
+    """Report-only: static communication audit (``C7xx``).
+
+    Runs last — on the transformed body the backend will compile — so
+    the entry list prices exactly the communication the runtime meters
+    will charge.
+    """
+    from ..analysis.commaudit import audit_program
+    ctx.report.commaudit = audit_program(ctx.node, ctx.env)
+    return ctx.node
 
 
 def _run_promote(ctx: PassContext) -> nir.Imperative:
@@ -126,6 +151,12 @@ def _run_recheck(ctx: PassContext) -> nir.Imperative:
 
 
 register(Pass(
+    name="racecheck", scope="program", run=_run_racecheck,
+    enabled=lambda o: getattr(o, "analyze", False),
+    report_slot="racecheck",
+    description="report-only parallel-semantics race detection (R6xx)"))
+
+register(Pass(
     name="promote", scope="program", run=_run_promote,
     enabled=lambda o: o.promote_loops,
     report_slot="promotion",
@@ -168,6 +199,12 @@ register(Pass(
     name="recheck", scope="program", run=_run_recheck,
     enabled=lambda o: o.recheck,
     description="re-run type/shape checks on the optimized program"))
+
+register(Pass(
+    name="commaudit", scope="body", run=_run_commaudit,
+    enabled=lambda o: getattr(o, "analyze", False),
+    report_slot="commaudit",
+    description="report-only static communication-cost audit (C7xx)"))
 
 
 # -- transformation helpers -------------------------------------------------

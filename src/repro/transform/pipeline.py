@@ -42,6 +42,7 @@ class Options:
     pad_masks: bool = True   # Figure 10 section padding
     recheck: bool = True     # re-run type/shape checks afterwards
     fuse_exec: bool = True   # cross-routine execution-plan fusion
+    analyze: bool = False    # report-only racecheck + comm audit passes
 
     @classmethod
     def naive(cls) -> "Options":
@@ -67,6 +68,16 @@ class ExecFusionReport:
     candidate_groups: int = 0    # maximal runs of >=2 compute phases
 
 
+def _racecheck_report():
+    from ..analysis.racecheck import RacecheckReport
+    return RacecheckReport()
+
+
+def _commaudit_report():
+    from ..analysis.commaudit import CommAuditReport
+    return CommAuditReport()
+
+
 @dataclass
 class TransformReport:
     promotion: PromotionReport = field(default_factory=PromotionReport)
@@ -74,6 +85,9 @@ class TransformReport:
     masking: MaskingReport = field(default_factory=MaskingReport)
     blocking: BlockingReport = field(default_factory=BlockingReport)
     exec_fusion: ExecFusionReport = field(default_factory=ExecFusionReport)
+    # Report-only dataflow analyses (``Options.analyze``; `repro analyze`).
+    racecheck: object = field(default_factory=_racecheck_report)
+    commaudit: object = field(default_factory=_commaudit_report)
 
 
 @dataclass

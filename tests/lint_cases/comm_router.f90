@@ -1,0 +1,10 @@
+! A diagonal gather: every element pays the general-router tariff.
+program comm_router
+  integer, parameter :: n = 8
+  real :: a(n), c(n, n)
+  integer :: i
+  c = 1.0
+  a = 0.0
+  forall (i = 1:n) a(i) = c(i, i)  ! expect: C702 @8
+  print *, a
+end program comm_router

@@ -1,0 +1,11 @@
+! A serialized element loop that is really a uniform-offset neighbor
+! access: a CSHIFT would serve it on the grid network.
+program comm_shiftable
+  integer, parameter :: n = 8
+  real :: a(n), b(n)
+  integer :: i
+  b = 1.0
+  a = 0.0
+  forall (i = 1:n-1) a(i) = b(i+1)  ! expect: C701 @9
+  print *, a
+end program comm_shiftable

@@ -1,0 +1,10 @@
+! A masked store whose source reads the stored array through a
+! communication intrinsic: vector semantics need the pre-store values.
+program race_masked
+  integer, parameter :: n = 8
+  real :: a(n), m(n)
+  a = 1.0
+  m = 1.0
+  where (m > 0.0) a = cshift(a, 1)  ! expect: R602 @8
+  print *, a
+end program race_masked

@@ -1,0 +1,10 @@
+! The classic shifted recurrence: the right-hand side must see the
+! pre-assignment values, so a serialized in-place loop diverges.
+program race_overlap
+  integer, parameter :: n = 8
+  real :: a(n)
+  a = 1.0
+  a(2:n) = a(1:n-1)  ! expect: R601 @7
+  ! expect: W202 @7
+  print *, a
+end program race_overlap

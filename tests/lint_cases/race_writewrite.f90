@@ -1,0 +1,11 @@
+! Two masked stores to the same array in one fusable group whose masks
+! overlap: the fused MOVE is order-sensitive (write-write race).
+program race_writewrite
+  integer, parameter :: n = 8
+  real :: a(n), b(n)
+  a = 0.0
+  b = 1.0
+  where (b > 0.5) a = b
+  where (b > 0.25) a = 2.0 * b  ! expect: R603 @9
+  print *, a
+end program race_writewrite

@@ -1,0 +1,392 @@
+"""``repro analyze``: race detector, comm auditor, the differential
+oracle (detector verdicts vs the real engines), static-vs-runtime comm
+reconciliation, and the CLI/service surfaces."""
+
+from __future__ import annotations
+
+import glob
+import json
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.analyze import AnalyzeResult, analyze_file, analyze_source
+from repro.analysis.racecheck import masks_disjoint
+from repro.driver import cli
+from repro.driver.compiler import compile_source
+from repro.machine import Machine, slicewise_model
+
+N = 8
+
+CLEAN = f"""
+program clean
+  integer, parameter :: n = {N}
+  real :: a(n), b(n)
+  b = 1.0
+  a(1:n) = b(1:n)
+  print *, a
+end program clean
+"""
+
+OVERLAP = f"""
+program overlap
+  integer, parameter :: n = {N}
+  real :: a(n)
+  a = 1.0
+  a(2:n) = a(1:n-1)
+  print *, a
+end program overlap
+"""
+
+
+def race_codes(result: AnalyzeResult) -> list[str]:
+    return [d.code for d in result.diagnostics
+            if d.code.startswith("R6")]
+
+
+# ---------------------------------------------------------------------------
+# Race detector verdicts (the acceptance pair and friends)
+# ---------------------------------------------------------------------------
+
+
+class TestRaceDetector:
+    def test_flags_overlapping_self_read(self):
+        assert "R601" in race_codes(analyze_source(OVERLAP))
+
+    def test_passes_disjoint_copy(self):
+        assert race_codes(analyze_source(CLEAN)) == []
+
+    def test_flags_self_shift(self):
+        src = OVERLAP.replace("a(2:n) = a(1:n-1)", "a = cshift(a, 1)")
+        assert "R601" in race_codes(analyze_source(src))
+
+    def test_masked_self_shift_is_r602(self):
+        result = analyze_file("tests/lint_cases/race_masked.f90")
+        assert "R602" in race_codes(result)
+
+    def test_write_write_race_is_r603(self):
+        result = analyze_file("tests/lint_cases/race_writewrite.f90")
+        assert "R603" in race_codes(result)
+
+    def test_disjoint_masks_do_not_race(self):
+        # The life.f90 pattern: same-expression equality against two
+        # different constants can never hold at the same point.
+        result = analyze_source("""
+program ok
+  integer, parameter :: n = 8
+  integer :: g(n), c(n)
+  g = 1
+  c = 2
+  where (c == 3) g = 1
+  where (c == 2) g = 0
+  print *, g
+end program ok
+""")
+        assert race_codes(result) == []
+
+    def test_examples_are_race_free(self):
+        for path in sorted(glob.glob("examples/*.f90")):
+            assert race_codes(analyze_file(path)) == [], path
+
+
+class TestMasksDisjoint:
+    def test_negation_is_disjoint(self):
+        from repro import nir
+        m = nir.Binary(nir.BinOp.GT, nir.SVar("x"), nir.int_const(0))
+        assert masks_disjoint(m, nir.Unary(nir.UnOp.NOT, m))
+        assert masks_disjoint(nir.Unary(nir.UnOp.NOT, m), m)
+
+    def test_different_constants_are_disjoint(self):
+        from repro import nir
+        eq = lambda c: nir.Binary(nir.BinOp.EQ, nir.SVar("x"),
+                                  nir.int_const(c))
+        assert masks_disjoint(eq(2), eq(3))
+        assert not masks_disjoint(eq(2), eq(2))
+
+    def test_unrelated_masks_are_not_disjoint(self):
+        from repro import nir
+        a = nir.Binary(nir.BinOp.GT, nir.SVar("x"), nir.int_const(0))
+        b = nir.Binary(nir.BinOp.LT, nir.SVar("y"), nir.int_const(9))
+        assert not masks_disjoint(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Differential oracle: detector verdict vs the real engines
+# ---------------------------------------------------------------------------
+
+
+PREAMBLE = [f"integer a({N}), b({N})",
+            f"forall (i=1:{N}) a(i) = i",
+            f"forall (i=1:{N}) b(i) = 2*i + 1"]
+
+
+def initial_arrays() -> dict[str, np.ndarray]:
+    i = np.arange(1, N + 1, dtype=np.int64)
+    return {"a": i.copy(), "b": 2 * i + 1}
+
+
+def render(stmts) -> str:
+    lines = list(PREAMBLE)
+    for tgt, tlo, src, slo, length, scale, add in stmts:
+        lines.append(
+            f"{tgt}({tlo}:{tlo + length - 1}) = "
+            f"{scale}*{src}({slo}:{slo + length - 1}) + {add}")
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def serialized(stmts) -> dict[str, np.ndarray]:
+    """Statement-serialized in-place element loop — the semantics a
+    scalarizing compiler without temporaries would give the program."""
+    arrs = initial_arrays()
+    for tgt, tlo, src, slo, length, scale, add in stmts:
+        t, s = arrs[tgt], arrs[src]
+        for k in range(length):
+            t[tlo - 1 + k] = scale * s[slo - 1 + k] + add
+    return arrs
+
+
+def vector(source: str, exec_mode: str) -> dict[str, np.ndarray]:
+    exe = compile_source(source)
+    res = exe.run(Machine(slicewise_model(64), exec_mode=exec_mode))
+    return {k: np.asarray(res.arrays[k]) for k in ("a", "b")}
+
+
+@st.composite
+def section_stmts(draw):
+    stmts = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        length = draw(st.integers(min_value=2, max_value=N - 1))
+        tgt = draw(st.sampled_from(["a", "b"]))
+        src = draw(st.sampled_from(["a", "b"]))
+        tlo = draw(st.integers(min_value=1, max_value=N - length + 1))
+        slo = draw(st.integers(min_value=1, max_value=N - length + 1))
+        scale = draw(st.integers(min_value=1, max_value=3))
+        add = draw(st.integers(min_value=0, max_value=5))
+        stmts.append((tgt, tlo, src, slo, length, scale, add))
+    return stmts
+
+
+@settings(max_examples=30, deadline=None)
+@given(section_stmts())
+def test_detector_clean_means_vector_equals_serialized(stmts):
+    source = render(stmts)
+    result = analyze_source(source)
+    assert result.internal_error is None
+    if race_codes(result):
+        return  # flagged programs may legitimately diverge
+    fast = vector(source, "fast")
+    interp = vector(source, "interp")
+    serial = serialized(stmts)
+    for name in ("a", "b"):
+        np.testing.assert_array_equal(fast[name], interp[name])
+        np.testing.assert_array_equal(fast[name], serial[name])
+
+
+def test_flagged_seed_case_really_diverges():
+    # a(2:8) = 1*a(1:7) + 0 — the acceptance criterion's recurrence.
+    stmts = [("a", 2, "a", 1, 7, 1, 0)]
+    source = render(stmts)
+    assert race_codes(analyze_source(source)) == ["R601"]
+    fast = vector(source, "fast")
+    interp = vector(source, "interp")
+    serial = serialized(stmts)
+    np.testing.assert_array_equal(fast["a"], interp["a"])
+    # Vector semantics shift; the serialized loop smears a(1) across.
+    assert not np.array_equal(fast["a"], serial["a"])
+    assert np.array_equal(serial["a"][1:],
+                          np.full(N - 1, serial["a"][0]))
+
+
+def test_clean_seed_case_agrees_everywhere():
+    stmts = [("a", 1, "b", 1, N, 1, 0)]
+    source = render(stmts)
+    assert race_codes(analyze_source(source)) == []
+    np.testing.assert_array_equal(vector(source, "fast")["a"],
+                                  serialized(stmts)["a"])
+
+
+# ---------------------------------------------------------------------------
+# Static communication audit vs the runtime meters
+# ---------------------------------------------------------------------------
+
+
+class TestCommReconciliation:
+    def test_swe_static_comm_matches_runtime_exactly(self):
+        result = analyze_file("examples/swe.f90")
+        comm = result.comm
+        assert comm is not None and comm["exact"]
+        # The acceptance criterion: CSHIFT traffic is shift-class, and
+        # nothing was misclassified onto the router.
+        assert comm["entries"], "swe must have communication entries"
+        assert all(e["class"] == "shift" for e in comm["entries"])
+        assert comm["by_class"]["router"] == 0
+
+        from repro.targets import build_machine
+        exe = compile_source(open("examples/swe.f90").read())
+        res = exe.run(build_machine("cm2"))
+        assert comm["comm_cycles"] == res.stats.comm_cycles
+
+    def test_heat_static_comm_matches_runtime_exactly(self):
+        result = analyze_file("examples/heat.f90")
+        from repro.targets import build_machine
+        exe = compile_source(open("examples/heat.f90").read())
+        res = exe.run(build_machine("cm2"))
+        assert result.comm["comm_cycles"] == res.stats.comm_cycles
+
+    def test_gather_is_router_class(self):
+        result = analyze_file("tests/lint_cases/comm_router.f90")
+        comm = result.comm
+        assert comm["by_class"]["router"] > 0
+        assert any(e["kind"] == "gather" for e in comm["entries"])
+
+    def test_cost_model_selection_changes_totals(self):
+        src = open("examples/heat.f90").read()
+        cm2 = analyze_source(src)
+        cm5 = analyze_source(src, target="cm5")
+        assert cm2.comm["model"] != cm5.comm["model"]
+        assert cm2.comm["comm_cycles"] != cm5.comm["comm_cycles"]
+
+    def test_loop_trips_multiply(self):
+        result = analyze_source("""
+program trips
+  integer, parameter :: n = 8
+  real :: a(n)
+  integer :: it
+  a = 1.0
+  do it = 1, 5
+    a = cshift(a, 1)
+  end do
+  print *, a
+end program trips
+""")
+        shifts = [e for e in result.comm["entries"]
+                  if e["kind"] == "cshift"]
+        assert shifts and shifts[0]["trips"] == 5
+        assert result.comm["exact"]
+
+    def test_conditional_comm_is_inexact(self):
+        result = analyze_source("""
+program maybe
+  integer, parameter :: n = 8
+  real :: a(n)
+  integer :: c
+  a = 1.0
+  c = 1
+  if (c > 0) then
+    a = cshift(a, 1)
+  end if
+  print *, a
+end program maybe
+""")
+        assert result.comm["exact"] is False
+
+
+# ---------------------------------------------------------------------------
+# Exit-code contract and output surfaces
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyzeContract:
+    def test_clean_is_zero(self):
+        assert analyze_source(CLEAN).exit_code() == 0
+
+    def test_findings_are_one_two_under_strict(self):
+        r = analyze_source(OVERLAP)
+        assert r.exit_code() == 1
+        assert r.exit_code(strict=True) == 2
+
+    def test_lint_errors_are_two_and_skip_analysis(self):
+        r = analyze_source("program p\n  a = = 1\nend program p\n")
+        assert r.exit_code() == 2
+        assert r.comm is None and r.dataflow is None
+
+    def test_internal_error_is_two(self):
+        r = analyze_source(CLEAN, target="not-a-target")
+        assert r.internal_error is not None
+        assert r.exit_code() == 0 or r.exit_code() == 2
+        assert r.exit_code() == 2
+
+    def test_never_raises_on_garbage(self):
+        for source in ("", "@@@", "program p", "end", "\x00\x01"):
+            assert isinstance(analyze_source(source), AnalyzeResult)
+
+    def test_examples_are_analyze_clean(self):
+        # The CI analyze-gate: no unexpected R/C diagnostic in examples.
+        for path in sorted(glob.glob("examples/*.f90")):
+            result = analyze_file(path)
+            assert result.internal_error is None, path
+            assert result.exit_code() == 0, (
+                path, [d.code for d in result.diagnostics])
+
+
+class TestAnalyzeCli:
+    def test_clean_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "clean.f90"
+        f.write_text(CLEAN)
+        assert cli.main(["analyze", str(f)]) == 0
+        assert "static comm" in capsys.readouterr().out
+
+    def test_findings_exit_one_strict_two(self, tmp_path):
+        f = tmp_path / "overlap.f90"
+        f.write_text(OVERLAP)
+        assert cli.main(["analyze", str(f)]) == 1
+        assert cli.main(["analyze", "--strict", str(f)]) == 2
+
+    def test_unknown_target_exits_two(self, tmp_path, capsys):
+        f = tmp_path / "clean.f90"
+        f.write_text(CLEAN)
+        assert cli.main(["analyze", "--target", "nope", str(f)]) == 2
+        assert "internal error" in capsys.readouterr().out
+
+    def test_json_payload(self, capsys):
+        rc = cli.main(["analyze", "--format=json",
+                       "tests/lint_cases/comm_router.f90"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+        assert payload["comm"]["by_class"]["router"] > 0
+        assert payload["dataflow"]["statements"] > 0
+        assert any(d["code"] == "C702" for d in payload["diagnostics"])
+
+    def test_lint_analyze_flag_folds_in_r_codes(self, tmp_path, capsys):
+        f = tmp_path / "overlap.f90"
+        f.write_text(OVERLAP)
+        assert cli.main(["lint", "--analyze", "--format=json",
+                         str(f)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "R601" in codes and "W202" in codes
+
+    def test_pes_override(self, tmp_path, capsys):
+        f = tmp_path / "clean.f90"
+        f.write_text(CLEAN)
+        cli.main(["analyze", "--format=json", "--pes", "64", str(f)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["comm"]["n_pes"] == 64
+
+
+def test_service_analyze_op_matches_cli_json():
+    from repro.service.jobs import execute_request
+
+    path = "examples/swe.f90"
+    with open(path) as f:
+        source = f.read()
+    svc = execute_request({"op": "analyze", "source": source,
+                           "file": path})
+    assert svc["ok"]
+    report = {k: v for k, v in svc.items() if k not in ("ok", "op")}
+
+    result = analyze_file(path)
+    local = dict(result.to_dict(), exit_code=result.exit_code())
+    assert json.dumps(report, sort_keys=True) \
+        == json.dumps(local, sort_keys=True)
+
+
+def test_service_analyze_strict():
+    from repro.service.jobs import execute_request
+
+    r = execute_request({"op": "analyze", "source": OVERLAP,
+                         "strict": True})
+    assert r["exit_code"] == 2
+    assert any(d["code"] == "R601" for d in r["diagnostics"])

@@ -1,0 +1,241 @@
+"""The dataflow substrate: CFG construction, access summaries, and the
+forward/backward fixed-point solver (reaching defs, liveness)."""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import (
+    Liveness,
+    ReachingDefinitions,
+    build_cfg,
+    solve,
+    summarize,
+)
+from repro.frontend.parser import parse_program
+from repro.lowering.lower import lower_program
+
+
+def analyze(source):
+    low = lower_program(parse_program(source))
+    cfg = build_cfg(low.nir)
+    return cfg, summarize(cfg, low.env)
+
+
+def writers_of(cfg, summaries, name):
+    """Statements whose summary writes ``name``, in program order."""
+    return [s for s in cfg.statements()
+            if name in summaries[s.sid].written_names and s.role == "stmt"]
+
+
+STRAIGHT = """
+program s
+  real :: a(8)
+  integer :: x
+  x = 1
+  a = 2.0
+  x = x + 1
+  print *, a, x
+end program s
+"""
+
+BRANCHY = """
+program b
+  integer :: x, y, c
+  c = 1
+  if (c > 0) then
+    x = 1
+  else
+    x = 2
+  end if
+  y = x
+end program b
+"""
+
+LOOPY = """
+program l
+  integer :: x, i
+  x = 0
+  do i = 1, 4
+    x = x + i
+  end do
+  print *, x
+end program l
+"""
+
+
+# ---------------------------------------------------------------------------
+# CFG construction
+# ---------------------------------------------------------------------------
+
+
+class TestCfg:
+    def test_straight_line_is_one_block(self):
+        cfg, _ = analyze(STRAIGHT)
+        populated = [b for b in cfg.blocks if b.statements]
+        assert len(populated) == 1
+        assert cfg.n_edges == 0
+        assert cfg.entry == cfg.exit
+
+    def test_if_forks_and_joins(self):
+        cfg, _ = analyze(BRANCHY)
+        branches = [s for s in cfg.statements() if s.role == "branch"]
+        assert len(branches) == 1
+        head = cfg.blocks[branches[0].block]
+        assert len(head.succs) == 2
+        # Both arms reconverge: one block has two predecessors.
+        joins = [b for b in cfg.blocks if len(b.preds) == 2]
+        assert len(joins) == 1
+        assert cfg.exit != cfg.entry
+
+    def test_do_loop_has_back_edge(self):
+        cfg, _ = analyze(LOOPY)
+        loops = [s for s in cfg.statements() if s.role == "loop"]
+        assert len(loops) == 1
+        header = cfg.blocks[loops[0].block]
+        assert len(header.succs) == 2   # body entry + after
+        assert len(header.preds) == 2   # fall-in + the back edge
+
+    def test_statement_ids_are_unique_and_ordered(self):
+        cfg, _ = analyze(BRANCHY)
+        sids = [s.sid for s in cfg.statements()]
+        assert len(sids) == len(set(sids))
+
+
+# ---------------------------------------------------------------------------
+# Access summaries
+# ---------------------------------------------------------------------------
+
+
+class TestSummaries:
+    def test_scalar_reads_and_writes(self):
+        cfg, summaries = analyze(STRAIGHT)
+        incr = writers_of(cfg, summaries, "x")[-1]  # x = x + 1
+        s = summaries[incr.sid]
+        assert "x" in s.scalar_reads
+        assert "x" in s.scalar_writes
+        assert s.definite_writes() >= {"x"}
+
+    def test_full_array_write_is_definite(self):
+        cfg, summaries = analyze(STRAIGHT)
+        store = writers_of(cfg, summaries, "a")[0]  # a = 2.0
+        s = summaries[store.sid]
+        assert "a" in s.definite_writes()
+
+    def test_sectioned_write_is_not_definite(self):
+        cfg, summaries = analyze("""
+program p
+  real :: a(8)
+  a = 0.0
+  a(2:5) = 1.0
+end program p
+""")
+        partial = writers_of(cfg, summaries, "a")[-1]
+        s = summaries[partial.sid]
+        assert "a" in s.written_names
+        assert "a" not in s.definite_writes()
+
+    def test_masked_write_is_not_definite(self):
+        cfg, summaries = analyze("""
+program p
+  real :: a(8), m(8)
+  a = 0.0
+  m = 1.0
+  where (m > 0.0) a = 1.0
+end program p
+""")
+        masked = writers_of(cfg, summaries, "a")[-1]
+        s = summaries[masked.sid]
+        assert "a" in s.written_names
+        assert "a" not in s.definite_writes()
+        assert any(w.name == "a" and w.masked for w in s.array_writes)
+
+    def test_branch_statement_reads_only_its_condition(self):
+        cfg, summaries = analyze(BRANCHY)
+        branch = next(s for s in cfg.statements() if s.role == "branch")
+        s = summaries[branch.sid]
+        assert "c" in s.scalar_reads
+        assert s.scalar_writes == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+# ---------------------------------------------------------------------------
+
+
+class TestReachingDefinitions:
+    def test_redefinition_kills(self):
+        cfg, summaries = analyze(STRAIGHT)
+        result = solve(cfg, ReachingDefinitions(summaries))
+        first, second = writers_of(cfg, summaries, "x")
+        after = result.after(second)
+        assert ("x", second.sid) in after
+        assert ("x", first.sid) not in after
+
+    def test_both_branch_definitions_reach_the_join(self):
+        cfg, summaries = analyze(BRANCHY)
+        result = solve(cfg, ReachingDefinitions(summaries))
+        defs_x = writers_of(cfg, summaries, "x")
+        use = writers_of(cfg, summaries, "y")[0]  # y = x
+        reaching = result.before(use)
+        for d in defs_x:
+            assert ("x", d.sid) in reaching
+
+    def test_loop_carried_definition_reaches_around_back_edge(self):
+        cfg, summaries = analyze(LOOPY)
+        result = solve(cfg, ReachingDefinitions(summaries))
+        init, update = writers_of(cfg, summaries, "x")
+        reaching = result.before(update)  # x = x + i reads both defs
+        assert ("x", init.sid) in reaching
+        assert ("x", update.sid) in reaching
+
+    def test_masked_store_does_not_kill(self):
+        cfg, summaries = analyze("""
+program p
+  real :: a(8), m(8)
+  a = 0.0
+  m = 1.0
+  where (m > 0.0) a = 1.0
+  print *, a
+end program p
+""")
+        result = solve(cfg, ReachingDefinitions(summaries))
+        full, masked = writers_of(cfg, summaries, "a")
+        after = result.after(masked)
+        assert ("a", full.sid) in after     # survives the masked store
+        assert ("a", masked.sid) in after
+
+
+# ---------------------------------------------------------------------------
+# Liveness
+# ---------------------------------------------------------------------------
+
+
+class TestLiveness:
+    def test_read_makes_live(self):
+        # Backward problem: before() is the analysis-order input (the
+        # live-OUT set); after() applies the transfer (the live-IN set).
+        cfg, summaries = analyze(STRAIGHT)
+        result = solve(cfg, Liveness(summaries))
+        first, second = writers_of(cfg, summaries, "x")
+        assert "x" in result.after(second)      # x = x + 1 reads x
+        assert "x" not in result.after(first)   # x = 1 only writes it
+
+    def test_live_out_boundary_propagates(self):
+        source = """
+program p
+  integer :: x
+  x = 1
+end program p
+"""
+        cfg, summaries = analyze(source)
+        dead = solve(cfg, Liveness(summaries))
+        live = solve(cfg, Liveness(summaries,
+                                   live_out=frozenset({"x"})))
+        store = writers_of(cfg, summaries, "x")[0]
+        assert "x" not in dead.before(store)   # live-out without boundary
+        assert "x" in live.before(store)       # boundary keeps it live
+
+    def test_loop_keeps_accumulator_live(self):
+        cfg, summaries = analyze(LOOPY)
+        result = solve(cfg, Liveness(summaries))
+        init, _update = writers_of(cfg, summaries, "x")
+        assert "x" in result.before(init)      # live-out of x = 0

@@ -9,6 +9,7 @@ import re
 
 import pytest
 
+from repro.analysis.analyze import analyze_file
 from repro.analysis.lint import (LintResult, format_text, lint_file,
                                  lint_source)
 from repro.driver import cli
@@ -57,7 +58,9 @@ def test_enough_golden_cases():
 
 @pytest.mark.parametrize("path", CASES)
 def test_golden_case(path):
-    result = lint_file(path)
+    # The analyze entry is a superset of lint: F/S/W plus R6xx/C7xx.
+    result = analyze_file(path)
+    assert result.internal_error is None
     got = [(d.code, d.line) for d in result.diagnostics]
     for code, line in expectations(path):
         assert any(c == code and (line is None or l == line)
@@ -74,16 +77,18 @@ def test_golden_case(path):
 def test_golden_case_locations_are_real(path):
     with open(path) as f:
         n_lines = len(f.read().splitlines())
-    for d in lint_file(path).diagnostics:
+    for d in analyze_file(path).diagnostics:
         assert 1 <= d.line <= n_lines
         assert d.file == path
 
 
-def test_diagnostics_are_sorted_by_location():
+def test_diagnostics_are_sorted_deterministically():
+    # (file, line, col, code) — the emission order golden diffs key on.
     for path in CASES:
-        diags = lint_file(path).diagnostics
-        keys = [(d.line, d.col, d.code) for d in diags]
-        assert keys == sorted(keys)
+        for result in (lint_file(path), analyze_file(path)):
+            keys = [(d.file or "", d.line, d.col, d.code)
+                    for d in result.diagnostics]
+            assert keys == sorted(keys)
 
 
 # ---------------------------------------------------------------------------

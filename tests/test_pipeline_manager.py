@@ -66,8 +66,12 @@ end
 
 class TestRegistry:
     def test_default_order_is_the_paper_pipeline(self):
-        assert PASSES.names() == ["promote", "normalize", "pad_masks",
-                                  "dse", "block", "fuse_exec", "recheck"]
+        # racecheck/commaudit bracket the paper pipeline: report-only
+        # analyses, default-off, racecheck on the lowered input and
+        # commaudit on what the backend will actually compile.
+        assert PASSES.names() == ["racecheck", "promote", "normalize",
+                                  "pad_masks", "dse", "block", "fuse_exec",
+                                  "recheck", "commaudit"]
 
     def test_unknown_pass_is_loud(self):
         with pytest.raises(UnknownPassError) as exc:
@@ -115,7 +119,8 @@ class TestGoldenPassOrders:
         assert tp.trace.executed() == [
             "promote", "normalize", "dse", "recheck"]
         disabled = [t.name for t in tp.trace.passes if not t.enabled]
-        assert disabled == ["pad_masks", "block", "fuse_exec"]
+        assert disabled == ["racecheck", "pad_masks", "block",
+                            "fuse_exec", "commaudit"]
 
     def test_ablation_pipeline_no_promotion_no_fuse(self):
         tp = optimize(lower(PROGRAM),

@@ -160,8 +160,9 @@ class TestServiceResolution:
         response = execute_request({"op": "run", "source": TINY, "pes": 64})
         assert response["ok"]
         names = [p["name"] for p in response["pipeline"]["passes"]]
-        assert names == ["promote", "normalize", "pad_masks", "dse",
-                         "block", "fuse_exec", "recheck"]
+        assert names == ["racecheck", "promote", "normalize", "pad_masks",
+                         "dse", "block", "fuse_exec", "recheck",
+                         "commaudit"]
 
 
 # -- CLI wiring -------------------------------------------------------------
