@@ -10,6 +10,13 @@ root:
   serve`` pays per request after the first) and ``warm_disk`` is a
   fresh process's first hit (stat + read + unpickle + plan re-attach).
   The asserted floor applies to the memo tier.
+* **incremental recompile** — the SWE example compiled cold versus
+  recompiled through the content-addressed artifact store
+  (:mod:`repro.service.store`) after a *tail edit* (a pipeline-tail
+  config change): each round warms a fresh store with the base
+  configuration and times the edited compile, which reuses the front
+  and prefix-pass artifacts and recompiles only the tail.  The
+  asserted floor is ``REPRO_SERVICE_MIN_INCR_SPEEDUP`` (default 5x).
 * **batch throughput** — the same job file pushed through a
   :class:`~repro.service.pool.WorkerPool` with one and with two
   workers, uncached so every job is compute-bound.  On a multi-core
@@ -22,6 +29,7 @@ root:
 Knobs: ``REPRO_SWE_N`` (grid, default 512), ``REPRO_SERVICE_ROUNDS``
 (timed rounds per cache state, default 5),
 ``REPRO_SERVICE_MIN_WARM_SPEEDUP`` (cold/warm floor, default 10),
+``REPRO_SERVICE_MIN_INCR_SPEEDUP`` (cold/incremental floor, default 5),
 ``REPRO_SERVICE_JOBS`` (batch size, default 6),
 ``REPRO_SERVICE_MIN_POOL_SCALING`` (two-worker throughput floor on
 multi-core hosts, default 1.5).
@@ -45,6 +53,8 @@ ROUNDS = int(os.environ.get("REPRO_SERVICE_ROUNDS", "5"))
 MIN_WARM_SPEEDUP = float(
     os.environ.get("REPRO_SERVICE_MIN_WARM_SPEEDUP", "10"))
 JOBS = int(os.environ.get("REPRO_SERVICE_JOBS", "6"))
+MIN_INCR_SPEEDUP = float(
+    os.environ.get("REPRO_SERVICE_MIN_INCR_SPEEDUP", "5"))
 MIN_POOL_SCALING = float(
     os.environ.get("REPRO_SERVICE_MIN_POOL_SCALING", "1.5"))
 
@@ -120,6 +130,65 @@ def test_compile_cache_cold_vs_warm(tmp_path):
     assert speedup >= MIN_WARM_SPEEDUP, (
         f"warm-cache compile only {speedup:.1f}x faster than cold "
         f"(floor {MIN_WARM_SPEEDUP:.1f}x): {data}")
+
+
+def test_incremental_recompile_beats_cold(tmp_path):
+    """Cold compile vs incremental recompile after a tail-only edit."""
+    import dataclasses
+
+    from repro.driver.compiler import CompilerOptions, compile_source
+    from repro.service.store import ArtifactStore
+    from repro.transform import Options as TransformOptions
+
+    source = swe_source(n=SWE_N, itmax=2)
+    base = CompilerOptions()
+    # The tail edit: disable the late recheck pass.  Only the pipeline
+    # tail changes, so the front, the prefix passes, and (through
+    # content chaining) even the backend artifact stay reusable.
+    edited = dataclasses.replace(
+        base, transform=TransformOptions(recheck=False))
+
+    cold, incr = [], []
+    for round_no in range(ROUNDS):
+        t0 = time.perf_counter()
+        compile_source(source, edited, cache=False, incremental=False)
+        cold.append(time.perf_counter() - t0)
+
+        store = ArtifactStore(str(tmp_path / f"store{round_no}"))
+        compile_source(source, base, cache=False, incremental=True,
+                       store=store)  # warm: the pre-edit compile
+        t0 = time.perf_counter()
+        exe = compile_source(source, edited, cache=False,
+                             incremental=True, store=store)
+        incr.append(time.perf_counter() - t0)
+        arts = exe.transformed.trace.artifacts
+        assert arts["front"] == "hit"
+        assert arts["passes"]["hits"] > 0
+
+    cold_med = statistics.median(cold)
+    incr_med = statistics.median(incr)
+    speedup = cold_med / incr_med
+    data = {
+        "grid": f"{SWE_N}x{SWE_N}",
+        "rounds": ROUNDS,
+        "edit": "transform.recheck: true -> false",
+        "cold": {"seconds": cold, "median": cold_med, "min": min(cold)},
+        "incremental": {"seconds": incr, "median": incr_med,
+                        "min": min(incr)},
+        "speedup": speedup,
+        "speedup_floor": MIN_INCR_SPEEDUP,
+    }
+    _merge_payload("incremental_recompile", data)
+
+    print()
+    print(f"    cold        median {cold_med * 1000:8.2f}ms  "
+          f"min {min(cold) * 1000:8.2f}ms")
+    print(f"    incremental median {incr_med * 1000:8.2f}ms  "
+          f"min {min(incr) * 1000:8.2f}ms")
+    print(f"    tail-edit recompile speedup {speedup:.1f}x")
+    assert speedup >= MIN_INCR_SPEEDUP, (
+        f"incremental tail-edit recompile only {speedup:.1f}x faster "
+        f"than cold (floor {MIN_INCR_SPEEDUP:.1f}x): {data}")
 
 
 def test_batch_throughput_scales_with_workers():

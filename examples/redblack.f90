@@ -1,0 +1,27 @@
+program redblack
+! Red-black Gauss-Seidel relaxation: the classic two-color sweep.
+! Each step is two independent masked update phases (red points, then
+! black points), so one compile produces several blocked computation
+! phases -- the shape the parallel phase fan-out (`--incremental
+! --phase-workers N`) compiles concurrently.
+integer, parameter :: n = 32
+integer, parameter :: steps = 4
+double precision, array(n,n) :: u, avg
+integer, array(n,n) :: color
+integer it
+forall (i=1:n, j=1:n) color(i,j) = mod(i + j, 2)
+forall (i=1:n, j=1:n) u(i,j) = mod(i*5 + j*11, 13) * 1.0d0
+do it = 1, steps
+   avg = 0.25d0 * (cshift(u, shift=1, dim=1) + cshift(u, shift=-1, dim=1) &
+         + cshift(u, shift=1, dim=2) + cshift(u, shift=-1, dim=2))
+   where (color == 0)
+      u = avg
+   end where
+   avg = 0.25d0 * (cshift(u, shift=1, dim=1) + cshift(u, shift=-1, dim=1) &
+         + cshift(u, shift=1, dim=2) + cshift(u, shift=-1, dim=2))
+   where (color == 1)
+      u = avg
+   end where
+end do
+print *, sum(u)
+end program redblack

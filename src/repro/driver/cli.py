@@ -18,11 +18,15 @@ Commands:
   see :mod:`repro.service`);
 * ``batch`` — run a JSON-lines job file through the worker pool;
 * ``loadgen`` — drive a server (or an in-process one) with concurrent
-  clients and report latency percentiles, jobs/sec, and coalescing.
+  clients and report latency percentiles, jobs/sec, and coalescing;
+* ``cache`` — inspect (``stats``/``ls``) or purge the on-disk artifact
+  store that backs the compile cache and incremental compilation.
 
 ``REPRO_DEBUG=1`` re-raises errors with full tracebacks instead of the
 one-line diagnostics; ``REPRO_CACHE=1`` makes every compile consult the
-persistent cache (``--cache`` does it per invocation).
+persistent cache (``--cache`` does it per invocation);
+``REPRO_INCREMENTAL=1`` compiles through the per-pass artifact store
+(``--incremental`` does it per invocation).
 """
 
 from __future__ import annotations
@@ -78,11 +82,24 @@ def _machine(args) -> Machine:
 
 
 def _compile(args, source: str):
-    """Compile honoring the --cache flag (None defers to $REPRO_CACHE)."""
+    """Compile honoring --cache/--incremental (None defers to env)."""
     cache = True if getattr(args, "cache", False) else None
-    return compile_source(source, _options(args), cache=cache,
-                          dump_after=tuple(getattr(args, "dump_after", None)
-                                           or ()))
+    incremental = True if getattr(args, "incremental", False) else None
+    pool = None
+    workers = getattr(args, "phase_workers", None)
+    if workers and incremental and not cache:
+        from ..service.pool import WorkerPool
+        from ..service.store import default_store
+
+        pool = WorkerPool(workers, cache=default_store().root)
+    try:
+        return compile_source(source, _options(args), cache=cache,
+                              incremental=incremental, phase_pool=pool,
+                              dump_after=tuple(
+                                  getattr(args, "dump_after", None) or ()))
+    finally:
+        if pool is not None:
+            pool.close()
 
 
 def _read_source(path: str | None) -> str:
@@ -131,6 +148,15 @@ def _add_pipeline_args(p: argparse.ArgumentParser) -> None:
     g.add_argument("--cache", action="store_true",
                    help="consult the persistent compile cache "
                         "(~/.cache/repro; also $REPRO_CACHE=1)")
+    g.add_argument("--incremental", action="store_true",
+                   help="compile through the content-addressed artifact "
+                        "store: reuse front-end, per-pass, backend, and "
+                        "per-phase artifacts from previous compiles "
+                        "(also $REPRO_INCREMENTAL=1)")
+    g.add_argument("--phase-workers", type=int, default=0, metavar="N",
+                   help="with --incremental, fan independent blocked-"
+                        "phase compilations out across N worker "
+                        "processes before assembly")
     g.add_argument("--verify", action="store_true",
                    help="run the verifier suite between passes "
                         "(also $REPRO_VERIFY=1)")
@@ -384,6 +410,40 @@ def cmd_batch(args) -> int:
     return batch_main(args.file, pool, out_path=args.out)
 
 
+def cmd_cache(args) -> int:
+    """Inspect or purge the unified on-disk artifact store."""
+    from ..service.cache import CompileCache, cache_admin
+
+    cache = CompileCache(root=args.cache_dir)
+    payload = cache_admin(cache, args.action, kind=args.kind)
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.action == "stats":
+        store = payload["store"]
+        kinds = store.get("kinds", {})
+        print(f"store root: {store['root']}")
+        print(f"{'kind':<9} {'entries':>8} {'bytes':>12}")
+        for kind in sorted(kinds):
+            row = kinds[kind]
+            print(f"{kind:<9} {row['entries']:>8} {row['bytes']:>12,d}")
+        print(f"{'total':<9} {store['entries']:>8} "
+              f"{store['bytes']:>12,d}  "
+              f"(cap {store['max_bytes']:,d} bytes, "
+              f"{store['evictions']} evictions)")
+    elif args.action == "ls":
+        for entry in payload["entries"]:
+            print(f"{entry['kind']:<9} {entry['key']}  "
+                  f"{entry['bytes']:>10,d} bytes  "
+                  f"{entry['age_seconds']:.0f}s old")
+        if not payload["entries"]:
+            print("(store is empty)", file=sys.stderr)
+    else:  # purge
+        what = f"{args.kind} artifacts" if args.kind else "artifacts"
+        print(f"purged {payload['purged']} {what} from {cache.root}")
+    return 0
+
+
 def _service_cache(args):
     if args.no_cache:
         return None
@@ -515,6 +575,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="PATH", default=None,
                    help="write the full result payload to PATH")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser("cache",
+                       help="inspect or purge the on-disk artifact store "
+                            "(compile cache + incremental artifacts)")
+    p.add_argument("action", nargs="?", default="stats",
+                   choices=["stats", "ls", "purge"],
+                   help="stats: per-kind footprint; ls: entries, newest "
+                        "first; purge: delete entries (default: stats)")
+    p.add_argument("--kind", default=None,
+                   choices=["front", "pass", "backend", "phase", "exe"],
+                   help="restrict ls/purge to one artifact kind")
+    p.add_argument("--cache-dir", default=None,
+                   help="store root (default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format (default: text)")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("batch",
                        help="run a JSON-lines job file through the pool")

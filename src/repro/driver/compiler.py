@@ -9,6 +9,7 @@ simulated machine.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
 
@@ -157,7 +158,10 @@ def compile_unit(unit: A.ProgramUnit,
 def compile_source(source: str,
                    options: CompilerOptions | None = None,
                    cache=None,
-                   dump_after: tuple[str, ...] = ()) -> Executable:
+                   dump_after: tuple[str, ...] = (),
+                   incremental: bool | None = None,
+                   store=None,
+                   phase_pool=None) -> Executable:
     """Compile Fortran 90 source text through the full pipeline.
 
     ``!layout:`` comment directives in the source select explicit data
@@ -170,20 +174,161 @@ def compile_source(source: str,
     (``None``) follows ``$REPRO_CACHE`` — set ``REPRO_CACHE=1`` to make
     every compile in the process cache-backed.
 
+    ``incremental`` compiles through the content-addressed artifact
+    store (:mod:`repro.service.store`): the front end, every transform
+    pass, the backend, and each blocked computation phase are keyed and
+    reused individually, so an edit that only perturbs the pipeline
+    tail recompiles only the tail.  The default (``None``) follows
+    ``$REPRO_INCREMENTAL``.  ``store`` names the
+    :class:`~repro.service.store.ArtifactStore` to use (default: the
+    process-wide one) and ``phase_pool`` (a
+    :class:`~repro.service.pool.WorkerPool`) fans independent phase
+    compilations out across worker processes before assembly.
+
     ``dump_after`` (pass names) captures pretty-printed NIR snapshots
-    into the transform trace; it forces a fresh compile, since a cache
-    hit would skip the passes being observed.
+    into the transform trace; it forces a fresh, non-incremental
+    compile, since a cache hit would skip the passes being observed.
     """
     if dump_after:
         cache = False
+        incremental = False
     if cache is None:
         cache = os.environ.get("REPRO_CACHE") in ("1", "true", "yes")
     if cache:
         from ..service.cache import CompileCache, default_cache
 
-        store = cache if isinstance(cache, CompileCache) else default_cache()
-        exe, _hit = store.compile(source, options)
+        cc = cache if isinstance(cache, CompileCache) else default_cache()
+        exe, _hit = cc.compile(source, options, incremental=incremental)
         return exe
+    if incremental is None:
+        incremental = os.environ.get("REPRO_INCREMENTAL") in \
+            ("1", "true", "yes")
+    if incremental:
+        return _compile_incremental(source, options, store=store,
+                                    phase_pool=phase_pool)
     layouts = parse_layout_directives(source)
     return compile_unit(parse_program(source), options, layouts=layouts,
                         dump_after=dump_after)
+
+
+def _warm_phases(phase_pool, backend, transformed, store) -> None:
+    """Fan independent phase compilations out across the worker pool.
+
+    A pre-scan (:meth:`Cm2Compiler.compute_moves`) predicts the compute
+    blocks and their deterministic routine names; each not-yet-stored
+    phase becomes one ``_compile_phase`` job that compiles the block in
+    a worker and writes it into the shared store.  Warming is strictly
+    best-effort — a prediction the assembly walk diverges from (a
+    ``TooManyStreams`` split), a crashed worker, or a timed-out job
+    just means that phase misses and compiles inline.
+    """
+    jobs = []
+    counter = 0
+    for move in backend.compute_moves(transformed.inner_body()):
+        counter += 1
+        name = f"Pk{counter}vs1"
+        key = backend.phase_key(move, name)
+        if store.head("phase", key) is not None:
+            continue  # already warm (this run or a previous one)
+        jobs.append({
+            "op": "_compile_phase",
+            "key": key,
+            "store_root": store.root,
+            "payload": {"move": move, "env": backend.env,
+                        "domains": backend.domains,
+                        "options": backend.options, "name": name},
+        })
+    if not jobs:
+        return
+    futures = [phase_pool.submit(job) for job in jobs]
+    for future in futures:
+        try:
+            future.result(timeout=60.0)
+        except Exception:
+            pass  # best-effort: assembly recompiles any cold phase
+
+
+def _compile_incremental(source: str,
+                         options: CompilerOptions | None,
+                         store=None,
+                         phase_pool=None) -> Executable:
+    """Compile through the artifact store, stage by stage.
+
+    Four artifact granularities chain into each other: the ``front``
+    artifact (parse + lower + check) is keyed by the source text and
+    records the lowered state's hash; each transform ``pass`` artifact
+    is keyed by its input hash (see
+    :class:`~repro.pipeline.manager.PassManager`); the ``backend``
+    artifact (whole host program + partition report) is keyed by the
+    final transform state; and each blocked computation ``phase`` is
+    keyed by its own content, so even a backend miss reuses every
+    untouched phase.  Verification forces a cold compile — its whole
+    point is running the real pipeline.
+    """
+    from ..service.store import default_store, state_hash
+
+    options = options or CompilerOptions()
+    from ..analysis import verify_enabled
+    if options.verify or verify_enabled():
+        layouts = parse_layout_directives(source)
+        return compile_unit(parse_program(source), options,
+                            layouts=layouts)
+    store = store if store is not None else default_store()
+    target = get_target(options.target)
+    context = {
+        "target": target.name,
+        "fuse_exec": bool(getattr(options.transform, "fuse_exec", True)),
+    }
+    artifacts: dict = {}
+
+    front_key = store.fingerprint("front", {**context, "source": source})
+    artifact = store.get("front", front_key)
+    if artifact is not None:
+        unit, lowered, layouts = artifact.obj
+        front_hash = artifact.out_hash
+        artifacts["front"] = "hit"
+    else:
+        layouts = parse_layout_directives(source)
+        unit = parse_program(source)
+        lowered = lower_program(unit)
+        check_program(lowered.nir, lowered.env)
+        front_hash = state_hash(lowered.nir, lowered.env)
+        store.put("front", front_key, (unit, lowered, layouts),
+                  out_hash=front_hash)
+        artifacts["front"] = "miss"
+
+    transformed = optimize(lowered, options.transform, verify=False,
+                           store=store, context=context,
+                           input_hash=front_hash)
+
+    final_hash = transformed.trace.artifacts.get("state_hash")
+    backend_key = store.fingerprint("backend", {
+        **context,
+        "in": final_hash,
+        "backend": dataclasses.asdict(options.backend),
+        "layouts": sorted((name, list(axes))
+                          for name, axes in (layouts or {}).items()),
+    })
+    artifact = store.get("backend", backend_key)
+    if artifact is not None:
+        host_program, partition = artifact.obj
+        artifacts["backend"] = "hit"
+        artifacts["phases"] = {"hits": 0, "misses": 0}
+    else:
+        backend = target.compiler()(transformed.env,
+                                    options=options.backend,
+                                    layouts=layouts, store=store,
+                                    context=context)
+        if phase_pool is not None:
+            _warm_phases(phase_pool, backend, transformed, store)
+        host_program = backend.compile_program(transformed.nir)
+        partition = backend.report
+        store.put("backend", backend_key, (host_program, partition))
+        artifacts["backend"] = "miss"
+        artifacts["phases"] = {"hits": backend.phase_hits,
+                               "misses": backend.phase_misses}
+
+    transformed.trace.artifacts.update(artifacts)
+    return Executable(host_program=host_program, env=transformed.env,
+                      unit=unit, lowered=lowered, transformed=transformed,
+                      partition=partition, options=options)

@@ -14,13 +14,19 @@ from dataclasses import dataclass, field
 
 @dataclass
 class PassTiming:
-    """One pass's execution record (disabled passes are recorded too)."""
+    """One pass's execution record (disabled passes are recorded too).
+
+    ``cached`` marks a pass satisfied from the artifact store: its
+    effect was applied (state chained, report slot restored) without
+    running the pass, so its timings and IR sizes are zero.
+    """
 
     name: str
     seconds: float = 0.0
     ir_before: int = 0
     ir_after: int = 0
     enabled: bool = True
+    cached: bool = False
 
     @property
     def ir_delta(self) -> int:
@@ -30,6 +36,7 @@ class PassTiming:
         return {
             "name": self.name,
             "enabled": self.enabled,
+            "cached": self.cached,
             "seconds": self.seconds,
             "ir_before": self.ir_before,
             "ir_after": self.ir_after,
@@ -46,6 +53,11 @@ class PipelineTrace:
     verify_seconds: float = 0.0
     #: ``--dump-after`` snapshots: pass name -> pretty-printed IR.
     dumps: dict[str, str] = field(default_factory=dict)
+    #: Incremental-compile accounting: per-stage artifact-store
+    #: hit/miss records (``front``, ``passes``, ``backend``,
+    #: ``phases``) plus the final transform ``state_hash``.  Empty on
+    #: cold compiles, so legacy payload shapes are unchanged.
+    artifacts: dict = field(default_factory=dict)
 
     def timing(self, name: str) -> PassTiming | None:
         for t in self.passes:
@@ -58,11 +70,14 @@ class PipelineTrace:
         return [t.name for t in self.passes if t.enabled]
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "total_seconds": self.total_seconds,
             "verify_seconds": self.verify_seconds,
             "passes": [t.to_dict() for t in self.passes],
         }
+        if self.artifacts:
+            payload["artifacts"] = dict(self.artifacts)
+        return payload
 
     def summary_lines(self) -> list[str]:
         """The ``--stats`` rendering: one line per executed pass."""
@@ -72,6 +87,7 @@ class PipelineTrace:
                 continue
             lines.append(f"  {t.name:<12} {t.seconds * 1e3:8.2f}ms  "
                          f"ir {t.ir_before:>5d} -> {t.ir_after:<5d} "
-                         f"({t.ir_delta:+d})")
+                         f"({t.ir_delta:+d})"
+                         + ("  [cached]" if t.cached else ""))
         lines.append(f"  {'total':<12} {self.total_seconds * 1e3:8.2f}ms")
         return lines

@@ -1,13 +1,22 @@
-"""Content-addressed, persistent compile cache.
+"""Content-addressed, persistent compile cache — a façade over the
+unified artifact store.
 
 Compiled :class:`~repro.driver.compiler.Executable` objects are keyed by
 the SHA-256 of everything that determines them — the source text, every
-:class:`~repro.driver.compiler.CompilerOptions` switch, an optional
+:class:`~repro.driver.compiler.CompilerOptions` switch (including the
+*resolved* target name and the ``fuse_exec`` knob), an optional
 machine-configuration tag, and the cache schema / package versions — and
-pickled under ``~/.cache/repro`` (or ``$REPRO_CACHE_DIR``).  A key is a
-pure function of its inputs, so a hit is safe to use without any
-staleness check, and any change to the pipeline that should invalidate
-old entries is expressed by bumping :data:`SCHEMA_VERSION`.
+stored as ``exe``-kind artifacts in the
+:class:`~repro.service.store.ArtifactStore` at ``~/.cache/repro`` (or
+``$REPRO_CACHE_DIR``).  A key is a pure function of its inputs, so a hit
+is safe to use without any staleness check, and any change to the
+pipeline that should invalidate old entries is expressed by bumping
+:data:`SCHEMA_VERSION`.
+
+The store is shared with incremental compilation's ``front``/``pass``/
+``backend``/``phase`` artifacts (see :mod:`repro.service.store`): one
+store, one LRU eviction policy over every kind together, one version
+marker, one purge path — there is no second cache to keep coherent.
 
 Entries also carry the executable's **warmed PEAC plan state**: the
 per-routine binding-signature specializations recorded by
@@ -17,11 +26,8 @@ cache strips ``Routine._plan`` before pickling and persists only the
 ``specs`` tables; on load they are re-attached, so a cached executable
 skips the plans' recording mode on its first run.
 
-The store is a flat directory of ``<key>.pkl`` files.  Reads touch the
-entry's mtime; writes go through a temp file + ``os.replace`` so
-concurrent workers never observe a partial pickle; an LRU sweep after
-each write keeps the total size under ``max_bytes`` by deleting the
-oldest-read entries first.  Corrupt or version-skewed entries are
+Writes are atomic (temp file + ``os.replace``), reads touch the entry's
+mtime for the LRU sweep, and corrupt or version-skewed entries are
 deleted and reported as misses — the cache is always allowed to forget.
 
 The cache is two-tier: over the disk store sits a small in-process
@@ -33,7 +39,9 @@ all invalidate it — and a memo hit returns the *same* ``Executable``
 object as the previous call (plan warmth accumulates across requests;
 executables are immutable apart from their plan caches).  A fresh
 ``CompileCache`` instance always starts with an empty memo, so
-cross-process reads exercise the pickle path.
+cross-process reads exercise the pickle path.  The memo holds only
+``exe`` artifacts: pipeline-stage artifacts carry mutable IR that must
+unpickle fresh on every use.
 """
 
 from __future__ import annotations
@@ -43,23 +51,34 @@ import dataclasses
 import hashlib
 import json
 import os
-import pickle
-import tempfile
+
+from .store import ArtifactStore
 
 #: Bump to invalidate every existing cache entry (pipeline or pickle
 #: layout changes).  The package version participates in the key too,
 #: so releases never read each other's artifacts.
 #: 2: keys carry the resolved pass-pipeline identity; executables carry
 #:    a PipelineTrace.
-SCHEMA_VERSION = 3
-
-_DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+#: 3: asyncio service front door.
+#: 4: the unified artifact store (keys carry the resolved target and
+#:    fuse_exec; entries use the headered store layout).
+SCHEMA_VERSION = 4
 
 
 def _options_payload(options) -> dict:
-    """A stable, JSON-serializable rendering of CompilerOptions."""
+    """A stable, JSON-serializable rendering of CompilerOptions.
+
+    The ``target`` is *resolved* through the registry (so an alias and
+    its canonical name share artifacts, and two targets never do) and
+    ``fuse_exec`` is lifted out explicitly: it changes runtime fusion
+    behavior even when the transform pipeline's structure is otherwise
+    identical, so it must never be absorbed into a stale key.
+    """
+    from ..targets import get_target
+
     return {
-        "target": options.target,
+        "target": get_target(options.target).name,
+        "fuse_exec": bool(getattr(options.transform, "fuse_exec", True)),
         "transform": dataclasses.asdict(options.transform),
         "backend": dataclasses.asdict(options.backend),
     }
@@ -126,55 +145,50 @@ def _restore_plan_state(exe, state: dict[str, dict]) -> None:
 
 
 class CompileCache:
-    """A persistent store of compiled executables, LRU-capped by size."""
+    """The whole-source compile cache: ``exe`` artifacts plus a memo."""
 
     def __init__(self, root: str | None = None,
                  max_bytes: int | None = None,
-                 memo_entries: int = 16) -> None:
-        if root is None:
-            root = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
-                os.path.expanduser("~"), ".cache", "repro")
-        if max_bytes is None:
-            max_bytes = int(os.environ.get("REPRO_CACHE_MAX_BYTES",
-                                           _DEFAULT_MAX_BYTES))
-        self.root = root
-        self.objects = os.path.join(root, "objects")
-        self.max_bytes = max_bytes
+                 memo_entries: int = 16,
+                 store: ArtifactStore | None = None) -> None:
+        self.store = store if store is not None \
+            else ArtifactStore(root, max_bytes)
+        self.root = self.store.root
+        self.objects = self.store.objects
         self.memo_entries = memo_entries
         self._memo: collections.OrderedDict = collections.OrderedDict()
-        self.hits = 0
-        self.misses = 0
         self.memo_hits = 0
-        self.evictions = 0
-        self.errors = 0
-        os.makedirs(self.objects, exist_ok=True)
-        self._check_version()
 
-    # -- versioned invalidation ----------------------------------------
+    # -- counters (delegated to the store's exe-kind ledger) -----------
 
-    def _version_tag(self) -> str:
-        from .. import __version__
+    @property
+    def hits(self) -> int:
+        return self.store.counters["exe"]["hits"] + self.memo_hits
 
-        return f"{SCHEMA_VERSION}:{__version__}"
+    @property
+    def misses(self) -> int:
+        return self.store.counters["exe"]["misses"]
 
-    def _check_version(self) -> None:
-        """Purge the store wholesale when the schema/version changes."""
-        marker = os.path.join(self.root, "VERSION")
-        tag = self._version_tag()
-        try:
-            with open(marker) as f:
-                if f.read().strip() == tag:
-                    return
-        except OSError:
-            pass
-        self.clear()
-        with open(marker, "w") as f:
-            f.write(tag + "\n")
+    @property
+    def errors(self) -> int:
+        return self.store.counters["exe"]["errors"]
+
+    @property
+    def evictions(self) -> int:
+        return self.store.evictions
+
+    @property
+    def max_bytes(self) -> int:
+        return self.store.max_bytes
+
+    @max_bytes.setter
+    def max_bytes(self, value: int) -> None:
+        self.store.max_bytes = value
 
     # -- the store ------------------------------------------------------
 
     def _path(self, key: str) -> str:
-        return os.path.join(self.objects, f"{key}.pkl")
+        return self.store._path("exe", key)
 
     # -- the in-process memo tier --------------------------------------
 
@@ -212,7 +226,6 @@ class CompileCache:
         path = self._path(key)
         exe = self._memo_get(key, path)
         if exe is not None:
-            self.hits += 1
             self.memo_hits += 1
             try:
                 os.utime(path)  # LRU touch
@@ -220,30 +233,18 @@ class CompileCache:
                 pass
             self._memo_put(key, exe, path)  # refresh sig after touch
             return exe
-        try:
-            with open(path, "rb") as f:
-                entry = pickle.load(f)
-            if entry.get("tag") != self._version_tag():
-                raise ValueError(f"version skew in {path}")
-            exe = entry["exe"]
-            _restore_plan_state(exe, entry.get("plans", {}))
-        except FileNotFoundError:
-            self.misses += 1
+        artifact = self.store.get("exe", key)
+        if artifact is None:
             return None
+        try:
+            exe = artifact.obj["exe"]
+            _restore_plan_state(exe, artifact.obj.get("plans", {}))
         except Exception:
-            # Corrupt, truncated, or version-skewed: forget it.
-            self.errors += 1
-            self.misses += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            # A well-formed artifact with the wrong payload shape:
+            # forget it like any other corruption.
+            self.store._forget("exe", key, path)
+            self.store.counters["exe"]["hits"] -= 1
             return None
-        self.hits += 1
-        try:
-            os.utime(path)  # LRU touch
-        except OSError:
-            pass
         self._memo_put(key, exe, path)
         return exe
 
@@ -256,91 +257,51 @@ class CompileCache:
         """
         plans = _extract_plan_state(exe)
         try:
-            blob = pickle.dumps(
-                {"tag": self._version_tag(), "exe": exe, "plans": plans},
-                protocol=pickle.HIGHEST_PROTOCOL)
+            stored = self.store.put("exe", key,
+                                    {"exe": exe, "plans": plans})
         finally:
             _restore_plan_state(exe, plans)
-        fd, tmp = tempfile.mkstemp(dir=self.objects, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as f:
-                f.write(blob)
-            os.replace(tmp, self._path(key))
-        except OSError:
-            self.errors += 1
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            return
-        self._memo_put(key, exe, self._path(key))
-        self._evict(keep=key)
-
-    def _evict(self, keep: str | None = None) -> None:
-        """Delete least-recently-used entries until under ``max_bytes``."""
-        entries = []
-        total = 0
-        try:
-            names = os.listdir(self.objects)
-        except OSError:
-            return
-        for name in names:
-            if not name.endswith(".pkl"):
-                continue
-            path = os.path.join(self.objects, name)
-            try:
-                st = os.stat(path)
-            except OSError:
-                continue
-            entries.append((st.st_mtime, st.st_size, path, name))
-            total += st.st_size
-        protected = f"{keep}.pkl" if keep else None
-        for mtime, size, path, name in sorted(entries):
-            if total <= self.max_bytes:
-                break
-            if name == protected:
-                continue  # never evict the entry just written
-            try:
-                os.unlink(path)
-                total -= size
-                self.evictions += 1
-            except OSError:
-                pass
+        if stored:
+            self._memo_put(key, exe, self._path(key))
 
     def clear(self) -> None:
         """Drop every entry (used on version skew and by tests)."""
         self._memo.clear()
-        try:
-            names = os.listdir(self.objects)
-        except OSError:
-            return
-        for name in names:
-            try:
-                os.unlink(os.path.join(self.objects, name))
-            except OSError:
-                pass
+        self.store.purge()
 
     # -- the compile front door ----------------------------------------
 
-    def compile(self, source: str, options=None):
-        """Compile through the cache; returns ``(executable, hit)``."""
+    def compile(self, source: str, options=None, incremental=None):
+        """Compile through the cache; returns ``(executable, hit)``.
+
+        On a whole-source miss, ``incremental`` (default: the
+        ``$REPRO_INCREMENTAL`` switch) compiles through the store's
+        pipeline-stage artifacts, so an edit that only perturbs the
+        pipeline tail reuses every prefix artifact.
+        """
         from ..driver.compiler import compile_source
 
         key = cache_key(source, options)
         exe = self.get(key)
         if exe is not None:
             return exe, True
-        exe = compile_source(source, options, cache=False)
+        exe = compile_source(source, options, cache=False,
+                             incremental=incremental, store=self.store)
         self.put(key, exe)
         return exe, False
 
     def stats(self) -> dict:
-        """Counters plus the store's current footprint."""
+        """Counters plus the executable store's current footprint.
+
+        ``entries``/``bytes`` cover the ``exe`` kind (this façade's
+        artifacts); the full per-kind breakdown is
+        ``self.store.stats()`` — the ``repro cache stats`` payload.
+        """
         count = 0
         total = 0
         try:
             for name in os.listdir(self.objects):
-                if name.endswith(".pkl"):
+                if name.endswith(".exe.pkl"):
                     count += 1
                     try:
                         total += os.stat(
@@ -363,6 +324,30 @@ class CompileCache:
         }
 
 
+def cache_admin(cache: CompileCache, action: str = "stats",
+                kind: str | None = None) -> dict:
+    """The shared ``repro cache`` / ``{"op": "cache"}`` surface.
+
+    ``stats`` returns the façade's executable-level counters plus the
+    unified store's per-kind breakdown; ``ls`` lists entries (newest
+    first, optionally one ``kind``); ``purge`` deletes entries (all, or
+    one ``kind``) through the store's single purge path and invalidates
+    the memo.  Counters are process-local; the entry listing and byte
+    footprint are the on-disk truth shared by every worker.
+    """
+    store = cache.store
+    if action == "stats":
+        return {"cache": cache.stats(), "store": store.stats()}
+    if action == "ls":
+        return {"entries": store.ls(kind=kind)}
+    if action == "purge":
+        removed = store.purge(kind=kind)
+        cache._memo.clear()
+        return {"purged": removed}
+    raise ValueError(f"unknown cache action {action!r} "
+                     "(expected stats, ls, or purge)")
+
+
 _DEFAULT: CompileCache | None = None
 
 
@@ -372,5 +357,8 @@ def default_cache() -> CompileCache:
     root = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
         os.path.expanduser("~"), ".cache", "repro")
     if _DEFAULT is None or _DEFAULT.root != root:
-        _DEFAULT = CompileCache(root)
+        from .store import default_store
+        store = default_store()
+        _DEFAULT = CompileCache(store=store) if store.root == root \
+            else CompileCache(root)
     return _DEFAULT

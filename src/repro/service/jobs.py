@@ -21,6 +21,7 @@ grouping — see :mod:`repro.service.server`)::
     {"op": "lint", "source": "...", "strict": false}
     {"op": "analyze", "source": "...", "strict": false,
      "target": "cm2", "model": null, "pes": null}
+    {"op": "cache", "action": "stats" | "ls" | "purge", "kind": null}
 
 A ``compare`` with a ``"targets"`` key (a list of registered target
 names, or ``"all"``) runs the cross-target comparison instead of the
@@ -42,6 +43,15 @@ the offending pass plus a ``diagnostics`` list, not a bare message.
 the same payload as ``repro run --stats-json`` plus the program output;
 every response reports ``cache`` (``"hit"``/``"miss"``/``None``) and
 compile/run wall-clock seconds so the pool can aggregate metrics.
+
+``compile``/``run`` requests additionally honor ``"incremental":
+true`` — a whole-source cache miss then compiles through the unified
+artifact store (front/pass/backend/phase artifacts; see
+:mod:`repro.service.store`), and the response's ``pipeline`` block
+carries per-stage ``artifacts`` hit/miss records.  ``cache`` is the
+store-administration op (counters are process-local; the entry listing
+is on-disk truth), and ``_compile_phase`` is the internal op the
+parallel phase fan-out submits to pool workers.
 """
 
 from __future__ import annotations
@@ -114,14 +124,17 @@ def _compile(request: dict, cache: CompileCache | None):
     options = build_options(request.get("options"))
     if request.get("verify") and not options.verify:
         options = dataclasses.replace(options, verify=True)
+    incremental = bool(request.get("incremental"))
     t0 = time.perf_counter()
     if cache is not None:
         key = cache_key(source, options)
-        exe, hit = cache.compile(source, options)
+        exe, hit = cache.compile(source, options,
+                                 incremental=incremental or None)
         state = "hit" if hit else "miss"
     else:
         key = None
-        exe = compile_source(source, options, cache=False)
+        exe = compile_source(source, options, cache=False,
+                             incremental=incremental or None)
         state = None
     return exe, key, state, time.perf_counter() - t0
 
@@ -152,12 +165,14 @@ def request_fingerprint(request: dict) -> str | None:
         key = cache_key(request["source"], options)
     except Exception:
         return None  # malformed request: let execution report the error
+    # `verify` and `incremental` are deliberately outside cache_key (a
+    # verified, unverified, incremental, or cold compile all produce
+    # the same artifact) but their *responses* differ (diagnostics /
+    # artifact accounting), so they must split the fingerprint.
+    inc = ":inc" if request.get("incremental") else ""
     if op == "compile":
-        # `verify` is deliberately outside cache_key (a verified and an
-        # unverified compile produce the same artifact) but their
-        # *responses* differ, so it must split the fingerprint.
-        return f"compile:{key}:v{int(options.verify)}"
-    return (f"run:{key}:v{int(options.verify)}:{request.get('pes')}"
+        return f"compile:{key}:v{int(options.verify)}{inc}"
+    return (f"run:{key}:v{int(options.verify)}{inc}:{request.get('pes')}"
             f":{request.get('model')}:{request.get('exec')}")
 
 
@@ -362,6 +377,34 @@ def _dispatch(request: dict, cache: CompileCache | None) -> dict:
         payload["exit_code"] = result.exit_code(
             strict=bool(request.get("strict")))
         return payload
+    if op == "cache":
+        from .cache import cache_admin
+
+        if cache is None:
+            raise ValueError("no compile cache configured")
+        return cache_admin(cache, request.get("action", "stats"),
+                           kind=request.get("kind"))
+    if op == "_compile_phase":
+        # Internal: warm one phase artifact for the parallel fan-out
+        # (see repro.driver.compiler._warm_phases).  The payload rides
+        # the worker pipe as live objects; the result lands in the
+        # shared store, not the response.
+        from ..backend.cm2.pe_compiler import TooManyStreams, compile_block
+        from .store import ArtifactStore
+
+        payload = request["payload"]
+        root = request.get("store_root")
+        store = cache.store if cache is not None \
+            and (root is None or cache.root == root) \
+            else ArtifactStore(root)
+        try:
+            block = compile_block(payload["move"], payload["env"],
+                                  payload["domains"], payload["options"],
+                                  name=payload["name"])
+        except TooManyStreams:
+            return {"warmed": False}
+        stored = store.put("phase", request["key"], block)
+        return {"warmed": bool(stored)}
     if op == "_sleep":  # test/ops hook: a slow (optionally failing) job
         time.sleep(float(request.get("seconds", 1.0)))
         if request.get("fail"):

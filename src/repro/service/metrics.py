@@ -86,8 +86,21 @@ class ServiceMetrics:
         self.latency = {name: LatencyStat() for name in self.STATS}
         #: Per-compiler-pass wall time, folded from each response's
         #: ``pipeline`` trace (cache hits replay the original compile's
-        #: trace and are skipped, so these measure real pass work).
+        #: trace and are skipped, so these measure real pass work;
+        #: artifact-store hits are skipped too — a cached pass ran
+        #: nothing).
         self.pass_latency: dict[str, LatencyStat] = {}
+        #: Artifact-store reuse, folded from incremental compiles'
+        #: ``pipeline.artifacts`` blocks (whole-source cache hits are
+        #: skipped: they replay the original compile's accounting).
+        #: ``prefix_hits`` totals every reused prefix artifact — the CI
+        #: incremental gate reads it from the ``metrics`` snapshot.
+        self.artifacts = {
+            "front_hits": 0, "front_misses": 0,
+            "pass_hits": 0, "pass_misses": 0,
+            "backend_hits": 0, "backend_misses": 0,
+            "phase_hits": 0, "phase_misses": 0,
+        }
 
     # ------------------------------------------------------------------
 
@@ -122,11 +135,29 @@ class ServiceMetrics:
             pipeline = response.get("pipeline") or {}
             if cache != "hit":
                 for entry in pipeline.get("passes", ()):
-                    if not entry.get("enabled", True):
+                    if not entry.get("enabled", True) \
+                            or entry.get("cached"):
                         continue
                     stat = self.pass_latency.setdefault(
                         entry["name"], LatencyStat())
                     stat.add(entry.get("seconds", 0.0))
+                self._fold_artifacts(pipeline.get("artifacts") or {})
+
+    def _fold_artifacts(self, artifacts: dict) -> None:
+        """Fold one incremental compile's store accounting (lock held)."""
+        if not artifacts:
+            return
+        for stage in ("front", "backend"):
+            state = artifacts.get(stage)
+            if state in ("hit", "miss"):
+                self.artifacts[f"{stage}_{state}es"
+                               if state == "miss"
+                               else f"{stage}_hits"] += 1
+        for stage in ("pass", "phase"):
+            block = artifacts.get(f"{stage}es") or {}
+            self.artifacts[f"{stage}_hits"] += int(block.get("hits", 0))
+            self.artifacts[f"{stage}_misses"] += \
+                int(block.get("misses", 0))
 
     def count_retry(self) -> None:
         with self._lock:
@@ -192,6 +223,13 @@ class ServiceMetrics:
                                     for name, stat in self.latency.items()},
                 "passes": {name: stat.snapshot()
                            for name, stat in self.pass_latency.items()},
+                "artifacts": {
+                    **self.artifacts,
+                    # Prefix artifacts reused across incremental
+                    # compiles (the CI tail-edit gate's counter).
+                    "prefix_hits": (self.artifacts["front_hits"]
+                                    + self.artifacts["pass_hits"]),
+                },
             }
 
     def summary(self) -> str:
@@ -214,6 +252,19 @@ class ServiceMetrics:
                 f"coalesce {flight['hits']} hits / "
                 f"{flight['leaders']} leaders "
                 f"(hit rate {flight['hit_rate']:.1%})")
+        arts = snap["artifacts"]
+        if arts["prefix_hits"] or arts["pass_misses"] \
+                or arts["backend_hits"] or arts["phase_hits"]:
+            lines.append(
+                f"store    front {arts['front_hits']}/"
+                f"{arts['front_hits'] + arts['front_misses']}  "
+                f"passes {arts['pass_hits']}/"
+                f"{arts['pass_hits'] + arts['pass_misses']}  "
+                f"backend {arts['backend_hits']}/"
+                f"{arts['backend_hits'] + arts['backend_misses']}  "
+                f"phases {arts['phase_hits']}/"
+                f"{arts['phase_hits'] + arts['phase_misses']} "
+                f"(artifact hits/lookups)")
         admission = snap["admission"]
         if admission["rejected"] or admission["queue_peak"]:
             lines.append(

@@ -40,6 +40,9 @@ Besides the job ops (:mod:`repro.service.jobs`), the server answers:
 * ``{"op": "stats"}`` (alias ``"metrics"``) — metrics snapshot
   (coalescing, per-tenant counts, admission queue peak, per-pass wall
   time) + cache stats + pool + live server state;
+* ``{"op": "cache", "action": "stats"|"ls"|"purge"}`` — administer
+  the unified artifact store the workers share (purge replaces the
+  old ad-hoc version-marker wipe as the operational path);
 * ``{"op": "batch", "requests": [...]}`` — fan a list through
   admission/coalescing/pool in one round trip (responses in order,
   under ``"results"``; an envelope-level ``tenant`` applies to every
@@ -432,6 +435,26 @@ class ReproServer:
                         len(self.singleflight.inflight),
                 },
             }
+        if op == "cache":
+            # Store administration runs in the parent against the
+            # pool's cache: the entry listing and purge act on the
+            # on-disk store every worker shares; counters are this
+            # process's view.
+            if self.pool.cache is None:
+                return {"ok": False, "op": "cache",
+                        "error": {"type": "NoCache",
+                                  "message": "server has no compile "
+                                             "cache configured"}}
+            from .cache import cache_admin
+            try:
+                payload = cache_admin(self.pool.cache,
+                                      request.get("action", "stats"),
+                                      kind=request.get("kind"))
+            except ValueError as exc:
+                return {"ok": False, "op": "cache",
+                        "error": {"type": "BadRequest",
+                                  "message": str(exc)}}
+            return {"ok": True, "op": "cache", **payload}
         if op == "shutdown":
             return {"ok": True, "op": "shutdown"}
         if op == "batch":

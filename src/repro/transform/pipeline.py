@@ -114,7 +114,9 @@ class TransformedProgram:
 def optimize(lowered: LoweredProgram,
              options: Options | None = None,
              verify: bool | None = None,
-             dump_after: tuple[str, ...] = ()) -> TransformedProgram:
+             dump_after: tuple[str, ...] = (),
+             store=None, context: dict | None = None,
+             input_hash: str | None = None) -> TransformedProgram:
     """Apply the target-independent NIR transformations.
 
     With ``verify`` on (default: the ``REPRO_VERIFY=1`` environment
@@ -127,6 +129,12 @@ def optimize(lowered: LoweredProgram,
     into the trace's ``dumps`` (the CLI ``--dump-after`` surface); an
     unknown name raises :class:`~repro.pipeline.registry.
     UnknownPassError` listing the registered passes.
+
+    ``store`` (an :class:`~repro.service.store.ArtifactStore`) turns on
+    incremental compilation: the manager consults per-pass artifacts
+    fingerprinted from ``input_hash`` (the front end's state hash) and
+    ``context`` (the resolved target and ``fuse_exec``), reusing every
+    prefix artifact an edit did not perturb.
     """
     from .passes import default_pipeline
 
@@ -136,7 +144,8 @@ def optimize(lowered: LoweredProgram,
         verify = verify_enabled()
     report = TransformReport()
     manager = PassManager(default_pipeline(), verify=verify,
-                          dump_after=dump_after)
+                          dump_after=dump_after, store=store,
+                          context=context, input_hash=input_hash)
     program, trace = manager.run(lowered.nir, lowered.env, options,
                                  report, input_stage="lower")
     return TransformedProgram(nir=program, env=lowered.env,

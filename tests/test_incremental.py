@@ -1,0 +1,531 @@
+"""Incremental compilation: the artifact store and its reuse contract.
+
+* store round-trips: put/get/head, meta side channel, content chaining;
+* crash safety: truncated/corrupt/version-skewed entries degrade to a
+  recompute (never an exception), writes are atomic, concurrent
+  writers never expose a partial artifact;
+* reuse: a warm recompile hits every artifact; a tail edit reuses the
+  prefix; a target or fuse_exec switch never serves a stale artifact;
+* the hypothesis differential: incremental and cold compiles of the
+  same edited source agree structurally and bit-identically at run
+  time;
+* the admin surface: ``cache_admin``, the ``{"op": "cache"}`` service
+  op, and the ``repro cache`` CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.driver.compiler import CompilerOptions, compile_source
+from repro.machine import Machine, slicewise_model
+from repro.service.cache import CompileCache, cache_admin, cache_key
+from repro.service.jobs import execute_request
+from repro.service.store import ArtifactStore, fingerprint, state_hash
+
+SOURCE = """
+program heat
+integer, parameter :: n = 16
+double precision, array(n,n) :: t, tnew
+double precision kappa
+integer it
+kappa = 0.1d0
+forall (i=1:n, j=1:n) t(i,j) = mod(i*7 + j*3, 11) * 1.0d0
+do it = 1, 4
+   tnew = t + kappa * (cshift(t, shift=1, dim=1) &
+          + cshift(t, shift=-1, dim=1) - 2.0d0 * t)
+   t = tnew
+end do
+end program heat
+"""
+
+
+def make_store(tmp_path, **kw) -> ArtifactStore:
+    return ArtifactStore(str(tmp_path / "store"), **kw)
+
+
+def compile_inc(source, store, options=None, phase_pool=None):
+    return compile_source(source, options, cache=False, incremental=True,
+                          store=store, phase_pool=phase_pool)
+
+
+def run_outputs(exe):
+    result = exe.run(Machine(slicewise_model(n_pes=64)))
+    return result.arrays, result.scalars, result.output
+
+
+def assert_same_run(exe_a, exe_b):
+    """Structural equality of the compiled artifact + bitwise run."""
+    assert exe_a.host_program == exe_b.host_program
+    arrays_a, scalars_a, out_a = run_outputs(exe_a)
+    arrays_b, scalars_b, out_b = run_outputs(exe_b)
+    assert sorted(arrays_a) == sorted(arrays_b)
+    for name, data in arrays_a.items():
+        np.testing.assert_array_equal(data, arrays_b[name])
+    assert scalars_a == scalars_b
+    assert out_a == out_b
+
+
+# ---------------------------------------------------------------------------
+# Store basics
+# ---------------------------------------------------------------------------
+
+
+class TestStoreBasics:
+    def test_put_get_round_trip(self, tmp_path):
+        store = make_store(tmp_path)
+        key = store.fingerprint("pass", {"in": "abc", "pass": "fold"})
+        assert store.put("pass", key, {"x": [1, 2, 3]},
+                         meta=("slot", 7), out_hash="deadbeef")
+        art = store.get("pass", key)
+        assert art is not None
+        assert art.obj == {"x": [1, 2, 3]}
+        assert art.meta == ("slot", 7)
+        assert art.out_hash == "deadbeef"
+
+    def test_head_reads_hash_and_meta_only(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("pass", "k1", [0] * 1000, meta={"m": 1}, out_hash="h1")
+        assert store.head("pass", "k1") == ("h1", {"m": 1})
+        assert store.head("pass", "nope") is None
+        assert store.counters["pass"]["hits"] == 1
+        assert store.counters["pass"]["misses"] == 1
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.get("front", "nothing") is None
+        assert store.counters["front"]["misses"] == 1
+        assert store.counters["front"]["errors"] == 0
+
+    def test_fingerprint_pure_and_kind_separated(self, tmp_path):
+        payload = {"source": "x = 1", "target": "cm2"}
+        assert fingerprint("front", payload) == fingerprint("front",
+                                                            dict(payload))
+        assert fingerprint("front", payload) != fingerprint("exe", payload)
+        assert fingerprint("front", payload) != \
+            fingerprint("front", {**payload, "target": "cm5"})
+
+    def test_state_hash_is_content_addressed(self):
+        assert state_hash([1, 2], "a") == state_hash([1, 2], "a")
+        assert state_hash([1, 2], "a") != state_hash([1, 2], "b")
+
+    def test_ls_purge_stats(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("front", "f1", 1)
+        store.put("pass", "p1", 2)
+        store.put("pass", "p2", 3)
+        entries = store.ls()
+        assert len(entries) == 3
+        assert {e["kind"] for e in entries} == {"front", "pass"}
+        assert all(e["bytes"] > 0 for e in entries)
+        assert len(store.ls(kind="pass")) == 2
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert stats["kinds"]["pass"]["entries"] == 2
+        assert stats["kinds"]["front"]["entries"] == 1
+        assert store.purge(kind="pass") == 2
+        assert store.get("front", "f1") is not None
+        assert store.purge() == 1
+        assert store.stats()["entries"] == 0
+
+    def test_lru_eviction_keeps_newest(self, tmp_path):
+        store = make_store(tmp_path, max_bytes=1)
+        store.put("pass", "old", list(range(100)))
+        store.put("pass", "new", list(range(100)))
+        # The entry just written is protected; the older one is gone.
+        assert store.get("pass", "new") is not None
+        assert store.get("pass", "old") is None
+        assert store.evictions >= 1
+
+    def test_version_marker_purges_on_schema_change(self, tmp_path,
+                                                    monkeypatch):
+        from repro.service import cache as cache_mod
+
+        store = make_store(tmp_path)
+        store.put("exe", "k", "payload")
+        monkeypatch.setattr(cache_mod, "SCHEMA_VERSION", 999)
+        reopened = ArtifactStore(store.root)
+        assert reopened.stats()["entries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Crash safety
+# ---------------------------------------------------------------------------
+
+
+class TestCrashSafety:
+    def _entry_path(self, store):
+        (name,) = os.listdir(store.objects)
+        return os.path.join(store.objects, name)
+
+    def test_truncated_header_degrades_to_miss(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("pass", "k", [1, 2, 3], out_hash="h")
+        path = self._entry_path(store)
+        with open(path, "wb") as f:
+            f.write(b"5:")  # a write that died mid-header
+        assert store.get("pass", "k") is None
+        assert store.counters["pass"]["errors"] == 1
+        assert not os.path.exists(path), "corrupt entry must be forgotten"
+
+    def test_truncated_state_degrades_to_miss(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("pass", "k", list(range(1000)), out_hash="h")
+        path = self._entry_path(store)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as f:
+            f.write(blob[:len(blob) // 2])  # valid header, half a pickle
+        assert store.get("pass", "k") is None
+        assert store.counters["pass"]["errors"] == 1
+        assert not os.path.exists(path)
+
+    def test_garbage_body_degrades_to_miss(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("backend", "k", (1, 2))
+        path = self._entry_path(store)
+        header = open(path, "rb").read().split(b"\n", 3)
+        with open(path, "wb") as f:
+            f.write(b"\n".join(header[:3]) + b"\n" + b"\x80garbage")
+        assert store.get("backend", "k") is None
+        assert store.counters["backend"]["errors"] == 1
+
+    def test_version_skewed_entry_is_forgotten(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("front", "k", "obj")
+        path = self._entry_path(store)
+        blob = open(path, "rb").read()
+        _tag, rest = blob.split(b"\n", 1)
+        with open(path, "wb") as f:
+            f.write(b"0:stale\n" + rest)
+        assert store.get("front", "k") is None
+        assert store.counters["front"]["errors"] == 1
+        assert not os.path.exists(path)
+
+    def test_unpicklable_put_is_an_error_not_an_exception(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.put("exe", "k", lambda: None) is False
+        assert store.counters["exe"]["errors"] == 1
+        assert store.stats()["entries"] == 0
+
+    def test_writes_leave_no_temp_files(self, tmp_path):
+        store = make_store(tmp_path)
+        for i in range(10):
+            store.put("pass", f"k{i}", list(range(50)))
+        leftovers = [n for n in os.listdir(store.objects)
+                     if not n.endswith(".pkl")]
+        assert leftovers == []
+
+    def test_corrupted_pass_artifact_recompiles_correctly(self, tmp_path):
+        """A warm chain with one corrupted link degrades to recompute."""
+        store = make_store(tmp_path)
+        cold = compile_source(SOURCE, cache=False, incremental=False)
+        compile_inc(SOURCE, store)
+        for name in os.listdir(store.objects):
+            if name.endswith(".pass.pkl"):
+                with open(os.path.join(store.objects, name), "wb") as f:
+                    f.write(b"not an artifact")
+        warm = compile_inc(SOURCE, store)
+        assert_same_run(cold, warm)
+
+    def test_concurrent_writers_never_expose_partial(self, tmp_path):
+        store = make_store(tmp_path)
+        key = "contended"
+        payloads = [list(range(i, i + 500)) for i in range(8)]
+        errors: list[BaseException] = []
+        seen: list[object] = []
+
+        def writer(payload):
+            try:
+                for _ in range(20):
+                    store.put("pass", key, payload, out_hash="h")
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(60):
+                    art = store.get("pass", key)
+                    if art is not None:
+                        seen.append(art.obj)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(p,))
+                   for p in payloads]
+        threads += [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert seen, "readers should observe complete artifacts"
+        assert all(obj in payloads for obj in seen)
+        final = store.get("pass", key)
+        assert final is not None and final.obj in payloads
+
+
+# ---------------------------------------------------------------------------
+# Incremental reuse
+# ---------------------------------------------------------------------------
+
+
+class TestIncrementalReuse:
+    def test_warm_recompile_hits_every_stage(self, tmp_path):
+        store = make_store(tmp_path)
+        first = compile_inc(SOURCE, store)
+        arts = first.transformed.trace.artifacts
+        assert arts["front"] == "miss"
+        assert arts["backend"] == "miss"
+        assert arts["passes"]["hits"] == 0
+        warm = compile_inc(SOURCE, store)
+        arts = warm.transformed.trace.artifacts
+        assert arts["front"] == "hit"
+        assert arts["backend"] == "hit"
+        assert arts["passes"]["misses"] == 0
+        assert arts["passes"]["hits"] > 0
+        assert_same_run(first, warm)
+
+    def test_warm_trace_marks_cached_passes(self, tmp_path):
+        store = make_store(tmp_path)
+        compile_inc(SOURCE, store)
+        warm = compile_inc(SOURCE, store)
+        cached = [t.cached for t in warm.transformed.trace.passes
+                  if t.enabled]
+        assert cached and all(cached)
+        assert any("[cached]" in line
+                   for line in warm.transformed.trace.summary_lines())
+
+    def test_incremental_matches_cold(self, tmp_path):
+        store = make_store(tmp_path)
+        cold = compile_source(SOURCE, cache=False, incremental=False)
+        inc_cold = compile_inc(SOURCE, store)
+        inc_warm = compile_inc(SOURCE, store)
+        assert_same_run(cold, inc_cold)
+        assert_same_run(cold, inc_warm)
+
+    def test_source_edit_reuses_nothing_stale(self, tmp_path):
+        store = make_store(tmp_path)
+        compile_inc(SOURCE, store)
+        edited = SOURCE.replace("kappa = 0.1d0", "kappa = 0.2d0")
+        exe = compile_inc(edited, store)
+        assert exe.transformed.trace.artifacts["front"] == "miss"
+        cold = compile_source(edited, cache=False, incremental=False)
+        assert_same_run(cold, exe)
+
+    def test_comment_only_edit_reuses_full_prefix(self, tmp_path):
+        """A comment edit re-parses, then chains warm: the front
+        artifact misses but records the same lowered-state hash, so
+        every pass and the backend reuse their artifacts."""
+        store = make_store(tmp_path)
+        compile_inc(SOURCE, store)
+        edited = SOURCE.replace("kappa = 0.1d0",
+                                "kappa = 0.1d0  ! diffusivity")
+        assert edited != SOURCE
+        exe = compile_inc(edited, store)
+        arts = exe.transformed.trace.artifacts
+        assert arts["front"] == "miss"
+        assert arts["passes"]["misses"] == 0
+        assert arts["passes"]["hits"] > 0
+        assert arts["backend"] == "hit"
+
+    def test_backend_config_edit_reuses_prefix(self, tmp_path):
+        """A tail (backend-only) change hits front + passes."""
+        store = make_store(tmp_path)
+        compile_inc(SOURCE, store)
+        naive_backend = dataclasses.replace(
+            CompilerOptions(), backend=CompilerOptions.naive().backend)
+        exe = compile_inc(SOURCE, store, options=naive_backend)
+        arts = exe.transformed.trace.artifacts
+        assert arts["front"] == "hit"
+        assert arts["passes"]["misses"] == 0
+        assert arts["passes"]["hits"] > 0
+        assert arts["backend"] == "miss"
+        cold = compile_source(SOURCE, options=naive_backend, cache=False,
+                              incremental=False)
+        assert_same_run(cold, exe)
+
+    def test_backend_miss_reuses_phase_artifacts(self, tmp_path):
+        store = make_store(tmp_path)
+        first = compile_inc(SOURCE, store)
+        assert first.transformed.trace.artifacts["phases"]["misses"] > 0
+        store.purge(kind="backend")
+        exe = compile_inc(SOURCE, store)
+        arts = exe.transformed.trace.artifacts
+        assert arts["backend"] == "miss"
+        assert arts["phases"]["misses"] == 0
+        assert arts["phases"]["hits"] > 0
+        assert_same_run(first, exe)
+
+    def test_target_switch_never_serves_stale_artifacts(self, tmp_path):
+        store = make_store(tmp_path)
+        cm2 = compile_inc(SOURCE, store)
+        host_options = CompilerOptions(target="host")
+        host = compile_inc(SOURCE, store, options=host_options)
+        # The context (resolved target) splits every key: nothing from
+        # the cm2 compile may be reused, starting at the front end.
+        assert host.transformed.trace.artifacts["front"] == "miss"
+        assert host.transformed.trace.artifacts["backend"] == "miss"
+        cold = compile_source(SOURCE, options=host_options, cache=False,
+                              incremental=False)
+        assert host.host_program == cold.host_program
+        assert cm2.host_program != host.host_program \
+            or cm2.partition != host.partition
+
+    def test_cache_key_splits_target_and_fuse_exec(self):
+        """Regression: the whole-source key was blind to both."""
+        from repro.transform import Options as TransformOptions
+
+        base = CompilerOptions()
+        host = CompilerOptions(target="host")
+        unfused = CompilerOptions(
+            transform=TransformOptions(fuse_exec=False))
+        keys = {cache_key(SOURCE, base), cache_key(SOURCE, host),
+                cache_key(SOURCE, unfused)}
+        assert len(keys) == 3
+
+    def test_verify_forces_cold_compile(self, tmp_path):
+        store = make_store(tmp_path)
+        compile_inc(SOURCE, store)
+        exe = compile_inc(SOURCE, store,
+                          options=CompilerOptions(verify=True))
+        # No artifact accounting: the verified compile ran everything.
+        assert exe.transformed.trace.artifacts == {}
+
+    def test_phase_pool_warms_phase_artifacts(self, tmp_path):
+        from repro.service.pool import WorkerPool
+
+        store = make_store(tmp_path)
+        first = compile_inc(SOURCE, store)
+        store.purge(kind="backend")
+        store.purge(kind="phase")
+        pool = WorkerPool(1, cache=store.root)  # in-process fallback
+        try:
+            exe = compile_inc(SOURCE, store, phase_pool=pool)
+        finally:
+            pool.close()
+        arts = exe.transformed.trace.artifacts
+        assert arts["backend"] == "miss"
+        assert arts["phases"]["hits"] > 0
+        assert arts["phases"]["misses"] == 0
+        assert_same_run(first, exe)
+
+
+# ---------------------------------------------------------------------------
+# The hypothesis differential: incremental == cold
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def edits(draw):
+    """A (base, edited) source pair differing in one statement."""
+    n = draw(st.integers(min_value=4, max_value=10))
+    k_base = draw(st.integers(min_value=1, max_value=9))
+    k_edit = draw(st.integers(min_value=1, max_value=9))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+
+    def program(k):
+        return (f"integer a({n}), b({n})\n"
+                f"forall (i=1:{n}) a(i) = i\n"
+                f"b = a {op} {k}\n"
+                f"b = b + cshift(a, 1)\n"
+                "print *, sum(b)\n"
+                "end\n")
+
+    return program(k_base), program(k_edit)
+
+
+@settings(max_examples=8, deadline=None)
+@given(edits())
+def test_incremental_equals_cold_after_edit(pair):
+    """Warm the store on a base program, compile an edit through it,
+    and require structural + bitwise agreement with a cold compile."""
+    base, edited = pair
+    with tempfile.TemporaryDirectory() as root:
+        store = ArtifactStore(os.path.join(root, "store"))
+        compile_inc(base, store)  # warm: the edit shares its prefix
+        inc = compile_inc(edited, store)
+        cold = compile_source(edited, cache=False, incremental=False)
+        assert_same_run(cold, inc)
+        # And a second, fully warm compile of the edit agrees too.
+        warm = compile_inc(edited, store)
+        assert_same_run(cold, warm)
+
+
+# ---------------------------------------------------------------------------
+# The admin surface: cache_admin, the service op, the CLI
+# ---------------------------------------------------------------------------
+
+
+class TestAdminSurface:
+    def test_cache_admin_stats_ls_purge(self, tmp_path):
+        cache = CompileCache(root=str(tmp_path / "cc"))
+        cache.compile(SOURCE)
+        stats = cache_admin(cache)
+        assert stats["cache"]["entries"] == 1
+        assert stats["store"]["kinds"]["exe"]["entries"] == 1
+        listing = cache_admin(cache, "ls", kind="exe")
+        assert len(listing["entries"]) == 1
+        assert cache_admin(cache, "purge")["purged"] == 1
+        assert cache.stats()["entries"] == 0
+        _exe, hit = cache.compile(SOURCE)
+        assert not hit, "purge must also invalidate the memo tier"
+        with pytest.raises(ValueError):
+            cache_admin(cache, "defragment")
+
+    def test_service_cache_op(self, tmp_path):
+        cache = CompileCache(root=str(tmp_path / "cc"))
+        resp = execute_request({"op": "compile", "source": SOURCE,
+                                "incremental": True}, cache)
+        assert resp["ok"], resp
+        assert resp["pipeline"]["artifacts"]["front"] == "miss"
+        resp = execute_request({"op": "cache"}, cache)
+        assert resp["ok"]
+        assert resp["store"]["entries"] > 0
+        resp = execute_request({"op": "cache", "action": "purge"}, cache)
+        assert resp["ok"] and resp["purged"] > 0
+        resp = execute_request({"op": "cache", "action": "nope"}, cache)
+        assert not resp["ok"]
+        assert resp["error"]["type"] == "ValueError"
+
+    def test_service_incremental_response_and_fingerprint(self, tmp_path):
+        from repro.service.jobs import request_fingerprint
+
+        plain = request_fingerprint({"op": "compile", "source": SOURCE})
+        inc = request_fingerprint({"op": "compile", "source": SOURCE,
+                                   "incremental": True})
+        assert plain != inc and inc.endswith(":inc")
+
+    def test_cli_cache_command(self, tmp_path, capsys):
+        from repro.driver.cli import main
+
+        root = str(tmp_path / "cc")
+        cache = CompileCache(root=root)
+        cache.compile(SOURCE)
+        assert main(["cache", "stats", "--cache-dir", root,
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["store"]["kinds"]["exe"]["entries"] == 1
+        assert main(["cache", "ls", "--cache-dir", root]) == 0
+        assert "exe" in capsys.readouterr().out
+        assert main(["cache", "purge", "--cache-dir", root]) == 0
+        assert "purged 1" in capsys.readouterr().out
+
+    def test_cli_incremental_flag(self, tmp_path, capsys, monkeypatch):
+        from repro.driver.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cc"))
+        src = tmp_path / "p.f90"
+        src.write_text(SOURCE)
+        assert main(["run", str(src), "--incremental"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "front" in out and "pass" in out
